@@ -1,0 +1,8 @@
+// Paper Fig. 10: top-3 candidate methods, UA task on the Shoaib-like dataset.
+#include "bench_common.hpp"
+
+int main() {
+  saga::bench::run_detail_figure(
+      "Fig. 10", {"shoaib", saga::data::Task::kUserAuthentication});
+  return 0;
+}

@@ -1,0 +1,8 @@
+// Paper Fig. 11: top-3 candidate methods, DP task on the Shoaib-like dataset.
+#include "bench_common.hpp"
+
+int main() {
+  saga::bench::run_detail_figure(
+      "Fig. 11", {"shoaib", saga::data::Task::kDevicePlacement});
+  return 0;
+}

@@ -1,0 +1,8 @@
+// Paper Fig. 7: top-3 candidate methods, AR task on the HHAR-like dataset.
+#include "bench_common.hpp"
+
+int main() {
+  saga::bench::run_detail_figure(
+      "Fig. 7", {"hhar", saga::data::Task::kActivityRecognition});
+  return 0;
+}

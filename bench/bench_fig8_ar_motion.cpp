@@ -1,0 +1,8 @@
+// Paper Fig. 8: top-3 candidate methods, AR task on the Motion-like dataset.
+#include "bench_common.hpp"
+
+int main() {
+  saga::bench::run_detail_figure(
+      "Fig. 8", {"motion", saga::data::Task::kActivityRecognition});
+  return 0;
+}

@@ -1,0 +1,9 @@
+// Paper Fig. 9: top-3 candidate methods, UA task on the HHAR-like dataset
+// (the paper's headline case: up to 51.6% improvement at a 5% labelling rate).
+#include "bench_common.hpp"
+
+int main() {
+  saga::bench::run_detail_figure(
+      "Fig. 9", {"hhar", saga::data::Task::kUserAuthentication});
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Micro-benchmarks for the Bayesian-optimization substrate.
+#include <benchmark/benchmark.h>
+
+#include "bo/gp.hpp"
+#include "bo/lws.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace saga;
+
+void BM_GpFit(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(1);
+  std::vector<std::vector<double>> x(n, std::vector<double>(4));
+  std::vector<double> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (auto& v : x[i]) v = rng.uniform();
+    y[i] = rng.uniform();
+  }
+  for (auto _ : state) {
+    bo::GaussianProcess gp;
+    gp.fit(x, y);
+    benchmark::DoNotOptimize(gp.num_observations());
+  }
+}
+BENCHMARK(BM_GpFit)->Arg(10)->Arg(30)->Arg(100);
+
+void BM_GpPredict(benchmark::State& state) {
+  util::Rng rng(2);
+  std::vector<std::vector<double>> x(30, std::vector<double>(4));
+  std::vector<double> y(30);
+  for (std::size_t i = 0; i < 30; ++i) {
+    for (auto& v : x[i]) v = rng.uniform();
+    y[i] = rng.uniform();
+  }
+  bo::GaussianProcess gp;
+  gp.fit(x, y);
+  const std::vector<double> query{0.25, 0.25, 0.25, 0.25};
+  for (auto _ : state) {
+    auto pred = gp.predict(query);
+    benchmark::DoNotOptimize(pred.mean);
+  }
+}
+BENCHMARK(BM_GpPredict);
+
+void BM_EiCandidateScan(benchmark::State& state) {
+  // One LWS acquisition round: fit + scan 256 candidates.
+  util::Rng rng(3);
+  std::vector<std::vector<double>> x(12, std::vector<double>(4));
+  std::vector<double> y(12);
+  for (std::size_t i = 0; i < 12; ++i) {
+    for (auto& v : x[i]) v = rng.uniform();
+    y[i] = rng.uniform();
+  }
+  bo::GaussianProcess gp;
+  gp.fit(x, y);
+  for (auto _ : state) {
+    double best_ei = -1.0;
+    for (int c = 0; c < 256; ++c) {
+      const auto w = bo::sample_simplex_weights(static_cast<std::uint64_t>(c));
+      const auto pred = gp.predict({w[0], w[1], w[2], w[3]});
+      best_ei = std::max(best_ei,
+                         bo::expected_improvement(pred.mean, pred.stddev, 0.8));
+    }
+    benchmark::DoNotOptimize(best_ei);
+  }
+}
+BENCHMARK(BM_EiCandidateScan);
+
+void BM_LwsSearchCheapObjective(benchmark::State& state) {
+  for (auto _ : state) {
+    bo::LwsConfig config;
+    config.budget = 5;
+    config.initial_random = 3;
+    const auto result = bo::search_weights(
+        [](const bo::TaskWeights& w) { return w[2] + 0.5 * w[1]; }, config);
+    benchmark::DoNotOptimize(result.best_performance);
+  }
+}
+BENCHMARK(BM_LwsSearchCheapObjective);
+
+}  // namespace
+
+BENCHMARK_MAIN();

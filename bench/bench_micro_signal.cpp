@@ -1,0 +1,101 @@
+// Micro-benchmarks for signal processing, masking and augmentation
+// throughput (google-benchmark).
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "baselines/augment.hpp"
+#include "data/batch.hpp"
+#include "data/synthetic.hpp"
+#include "masking/masking.hpp"
+#include "signal/fft.hpp"
+#include "signal/keypoints.hpp"
+#include "signal/period.hpp"
+
+namespace {
+
+using namespace saga;
+
+std::vector<double> demo_energy(std::size_t n) {
+  std::vector<double> e(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    e[i] = 2.0 + std::sin(2.0 * std::numbers::pi * double(i) / 12.0) +
+           0.2 * std::sin(2.0 * std::numbers::pi * double(i) / 3.0);
+  }
+  return e;
+}
+
+void BM_Fft128(benchmark::State& state) {
+  const auto e = demo_energy(120);
+  for (auto _ : state) {
+    auto amp = signal::amplitude_spectrum(e);
+    benchmark::DoNotOptimize(amp.data());
+  }
+}
+BENCHMARK(BM_Fft128);
+
+void BM_FindKeyPoints(benchmark::State& state) {
+  const auto e = demo_energy(120);
+  for (auto _ : state) {
+    auto kp = signal::find_key_points(e, {});
+    benchmark::DoNotOptimize(kp.peaks.data());
+  }
+}
+BENCHMARK(BM_FindKeyPoints);
+
+void BM_FindMainPeriod(benchmark::State& state) {
+  const auto e = demo_energy(120);
+  for (auto _ : state) {
+    auto period = signal::find_main_period(e);
+    benchmark::DoNotOptimize(period.period);
+  }
+}
+BENCHMARK(BM_FindMainPeriod);
+
+class MaskingFixture : public benchmark::Fixture {
+ public:
+  void SetUp(const benchmark::State&) override {
+    if (!batch.defined()) {
+      auto spec = data::hhar_like(32);
+      const auto dataset = data::generate_dataset(spec);
+      std::vector<std::int64_t> indices;
+      for (std::int64_t i = 0; i < 32; ++i) indices.push_back(i);
+      batch = data::make_batch(dataset, indices, data::Task::kActivityRecognition)
+                  .inputs;
+    }
+  }
+  Tensor batch;
+};
+
+BENCHMARK_DEFINE_F(MaskingFixture, MaskBatchLevel)(benchmark::State& state) {
+  const auto level = static_cast<mask::MaskLevel>(state.range(0));
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    auto result = mask::mask_batch(batch, level, {}, seed++);
+    benchmark::DoNotOptimize(result.mask.data().data());
+  }
+}
+BENCHMARK_REGISTER_F(MaskingFixture, MaskBatchLevel)->DenseRange(0, 3);
+
+BENCHMARK_DEFINE_F(MaskingFixture, RandomView)(benchmark::State& state) {
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    Tensor view = baselines::random_view(batch, seed++);
+    benchmark::DoNotOptimize(view.data().data());
+  }
+}
+BENCHMARK_REGISTER_F(MaskingFixture, RandomView);
+
+void BM_GenerateDataset(benchmark::State& state) {
+  for (auto _ : state) {
+    auto spec = data::hhar_like(state.range(0));
+    auto dataset = data::generate_dataset(spec);
+    benchmark::DoNotOptimize(dataset.samples.data());
+  }
+}
+BENCHMARK(BM_GenerateDataset)->Arg(100)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,134 @@
+// Micro-benchmarks for the tensor/NN substrate (google-benchmark).
+#include <benchmark/benchmark.h>
+
+#include "models/backbone.hpp"
+#include "nn/attention.hpp"
+#include "models/classifier.hpp"
+#include "nn/gru.hpp"
+#include "tensor/attention_fused.hpp"
+#include "tensor/grad_mode.hpp"
+#include "tensor/loss.hpp"
+#include "tensor/matmul.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace saga;
+
+void BM_Matmul(benchmark::State& state) {
+  const auto n = state.range(0);
+  util::Rng rng(1);
+  Tensor a = Tensor::randn({n, n}, rng);
+  Tensor b = Tensor::randn({n, n}, rng);
+  NoGradGuard no_grad;
+  for (auto _ : state) {
+    Tensor c = matmul(a, b);
+    benchmark::DoNotOptimize(c.data().data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_Matmul)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_Bmm(benchmark::State& state) {
+  util::Rng rng(2);
+  Tensor a = Tensor::randn({32, 120, 18}, rng);
+  Tensor b = Tensor::randn({32, 120, 18}, rng);
+  NoGradGuard no_grad;
+  for (auto _ : state) {
+    Tensor c = bmm(a, b, false, true);
+    benchmark::DoNotOptimize(c.data().data());
+  }
+}
+BENCHMARK(BM_Bmm);
+
+void BM_FusedAttentionForward(benchmark::State& state) {
+  util::Rng rng(3);
+  Tensor q = Tensor::randn({32, 120, 72}, rng);
+  Tensor k = Tensor::randn({32, 120, 72}, rng);
+  Tensor v = Tensor::randn({32, 120, 72}, rng);
+  NoGradGuard no_grad;
+  for (auto _ : state) {
+    Tensor out = fused_multi_head_attention(q, k, v, 4);
+    benchmark::DoNotOptimize(out.data().data());
+  }
+}
+BENCHMARK(BM_FusedAttentionForward)->Unit(benchmark::kMillisecond);
+
+// Ablation for the fused-attention design choice (DESIGN.md §4): the same
+// layer run through the composed primitive-op path. The fused kernel avoids
+// materializing five T x T intermediates per head.
+void BM_ComposedAttentionForward(benchmark::State& state) {
+  util::Rng rng(3);
+  nn::MultiHeadSelfAttention attention(72, 4, 0.0, rng, 7);
+  attention.set_training(false);
+  Tensor x = Tensor::randn({32, 120, 72}, rng);
+  NoGradGuard no_grad;
+  for (auto _ : state) {
+    Tensor out = attention.forward_composed(x);
+    benchmark::DoNotOptimize(out.data().data());
+  }
+}
+BENCHMARK(BM_ComposedAttentionForward)->Unit(benchmark::kMillisecond);
+
+void BM_FusedAttentionLayerForward(benchmark::State& state) {
+  util::Rng rng(3);
+  nn::MultiHeadSelfAttention attention(72, 4, 0.0, rng, 7);
+  attention.set_training(false);
+  Tensor x = Tensor::randn({32, 120, 72}, rng);
+  NoGradGuard no_grad;
+  for (auto _ : state) {
+    Tensor out = attention.forward(x);
+    benchmark::DoNotOptimize(out.data().data());
+  }
+}
+BENCHMARK(BM_FusedAttentionLayerForward)->Unit(benchmark::kMillisecond);
+
+void BM_BackboneForward(benchmark::State& state) {
+  models::BackboneConfig config;  // paper size
+  config.input_channels = 6;
+  models::LimuBertBackbone backbone(config);
+  backbone.set_training(false);
+  util::Rng rng(4);
+  Tensor x = Tensor::randn({static_cast<std::int64_t>(state.range(0)), 120, 6}, rng);
+  NoGradGuard no_grad;
+  for (auto _ : state) {
+    Tensor h = backbone.encode(x);
+    benchmark::DoNotOptimize(h.data().data());
+  }
+}
+BENCHMARK(BM_BackboneForward)->Arg(1)->Arg(32)->Unit(benchmark::kMillisecond);
+
+void BM_BackboneTrainStep(benchmark::State& state) {
+  models::BackboneConfig config;
+  config.input_channels = 6;
+  models::LimuBertBackbone backbone(config);
+  models::ReconstructionHead head(config.hidden_dim, 6, 1);
+  util::Rng rng(5);
+  Tensor x = Tensor::randn({32, 120, 6}, rng);
+  for (auto _ : state) {
+    backbone.zero_grad();
+    head.zero_grad();
+    Tensor loss = mse(head.forward(backbone.encode(x)), x);
+    loss.backward();
+    benchmark::DoNotOptimize(loss.item());
+  }
+}
+BENCHMARK(BM_BackboneTrainStep)->Unit(benchmark::kMillisecond)->Iterations(3);
+
+void BM_GruClassifierForward(benchmark::State& state) {
+  models::ClassifierConfig config;  // input 72, hidden 64
+  models::GruClassifier classifier(config);
+  classifier.set_training(false);
+  util::Rng rng(6);
+  Tensor h = Tensor::randn({32, 120, 72}, rng);
+  NoGradGuard no_grad;
+  for (auto _ : state) {
+    Tensor logits = classifier.forward(h);
+    benchmark::DoNotOptimize(logits.data().data());
+  }
+}
+BENCHMARK(BM_GruClassifierForward)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,25 @@
+// Developer diagnostic: one full-label reference cycle + one low-label cycle
+// with the bench profile, to calibrate budgets before running the suite.
+#include <chrono>
+#include <cstdio>
+
+#include "../bench/bench_common.hpp"
+
+using namespace saga;
+
+int main() {
+  const auto t0 = std::chrono::steady_clock::now();
+  bench::Harness harness;
+  const bench::Combo combo{"hhar", data::Task::kUserAuthentication};
+  const double reference = harness.reference_accuracy(combo);
+  std::printf("full-label LIMU reference (UA@hhar): %.1f%% (chance 11.1%%)\n",
+              100.0 * reference);
+  const auto limu = harness.run(combo, core::Method::kLimu, 0.15);
+  std::printf("LIMU @15%%: %.1f%%\n", 100.0 * limu.test.accuracy);
+  const auto nopre = harness.run(combo, core::Method::kNoPretrain, 0.15);
+  std::printf("NoPretrain @15%%: %.1f%%\n", 100.0 * nopre.test.accuracy);
+  const double sec = std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - t0).count();
+  std::printf("wall: %.0f s for 3 cycles\n", sec);
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Mobile-deployment story (paper §VII-D2): train briefly, checkpoint the
+// model to disk, reload it into a fresh process-like state (our stand-in for
+// the paper's ONNX Runtime export), and measure single-window inference
+// latency — the quantity Fig. 13 reports per phone.
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+
+#include "core/saga.hpp"
+#include "tensor/grad_mode.hpp"
+#include "tensor/reduce.hpp"
+#include "util/env.hpp"
+
+using namespace saga;
+using Clock = std::chrono::steady_clock;
+
+int main() {
+  std::printf("== On-device inference: checkpoint round trip + latency ==\n");
+
+  // A small trained model (paper-size backbone; tiny training budget).
+  const data::Dataset dataset = data::generate_dataset(data::hhar_like(120));
+  models::BackboneConfig bc;
+  bc.input_channels = dataset.channels;
+  models::LimuBertBackbone backbone(bc);
+  models::ClassifierConfig cc;
+  cc.num_classes = dataset.num_classes(data::Task::kActivityRecognition);
+  models::GruClassifier classifier(cc);
+
+  std::vector<std::int64_t> labelled;
+  for (std::int64_t i = 0; i < 60; ++i) labelled.push_back(i);
+  train::FinetuneConfig ft;
+  ft.epochs = util::env_int("SAGA_EPOCHS", 2);
+  train::finetune_classifier(backbone, classifier, dataset, labelled,
+                             data::Task::kActivityRecognition, ft);
+
+  // Checkpoint and reload (deployment hand-off).
+  const std::string path =
+      std::filesystem::temp_directory_path() / "saga_deploy.ckpt";
+  auto blobs = backbone.state_dict();
+  for (auto& [k, v] : classifier.state_dict()) blobs["classifier." + k] = v;
+  util::save_blobs(path, blobs);
+  std::printf("checkpoint written: %s (%.0f KB)\n", path.c_str(),
+              static_cast<double>(std::filesystem::file_size(path)) / 1024.0);
+
+  models::LimuBertBackbone deployed_backbone(bc);
+  models::GruClassifier deployed_classifier(cc);
+  {
+    const auto loaded = util::load_blobs(path);
+    util::NamedBlobs backbone_blobs;
+    util::NamedBlobs classifier_blobs;
+    for (const auto& [k, v] : loaded) {
+      if (k.rfind("classifier.", 0) == 0) classifier_blobs[k.substr(11)] = v;
+      else backbone_blobs[k] = v;
+    }
+    deployed_backbone.load_state_dict(backbone_blobs);
+    deployed_classifier.load_state_dict(classifier_blobs);
+  }
+  std::filesystem::remove(path);
+  deployed_backbone.set_training(false);
+  deployed_classifier.set_training(false);
+
+  // Single-window latency, averaged over 10 runs (paper protocol).
+  util::Rng rng(3);
+  const Tensor window = Tensor::randn({1, 120, 6}, rng);
+  NoGradGuard no_grad;
+  (void)deployed_classifier.forward(deployed_backbone.encode(window));  // warm-up
+  const auto start = Clock::now();
+  for (int r = 0; r < 10; ++r) {
+    const Tensor logits =
+        deployed_classifier.forward(deployed_backbone.encode(window));
+    (void)argmax_lastdim(logits);
+  }
+  const double ms =
+      std::chrono::duration<double, std::milli>(Clock::now() - start).count() / 10.0;
+  std::printf("single-window (1x120x6) inference: %.2f ms on this host\n", ms);
+  std::printf("(paper Fig. 13: <= 12 ms on all five phones; see "
+              "bench_fig13_latency for per-device scaling)\n");
+  return 0;
+}

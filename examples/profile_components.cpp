@@ -1,0 +1,94 @@
+// Internal profiling helper: prints wall time of the main training
+// components so performance regressions are easy to localize.
+#include <chrono>
+#include <cstdio>
+
+#include "core/saga.hpp"
+#include "tensor/matmul.hpp"
+#include "tensor/loss.hpp"
+
+using Clock = std::chrono::steady_clock;
+
+static double ms_since(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start).count();
+}
+
+int main() {
+  using namespace saga;
+  util::Rng rng(1);
+
+  {  // raw matmul throughput
+    const std::int64_t m = 512, k = 512, n = 512;
+    Tensor a = Tensor::randn({m, k}, rng);
+    Tensor b = Tensor::randn({k, n}, rng);
+    const auto start = Clock::now();
+    int reps = 10;
+    for (int r = 0; r < reps; ++r) {
+      NoGradGuard ng;
+      Tensor c = matmul(a, b);
+    }
+    const double sec = ms_since(start) / 1000.0;
+    std::printf("matmul 512^3 x%d: %.0f ms total, %.2f GFLOP/s\n", reps,
+                sec * 1000.0, 2.0 * double(m) * k * n * reps / sec / 1e9);
+  }
+
+  const data::Dataset dataset = data::generate_dataset(data::hhar_like(64));
+  models::BackboneConfig bc;
+  bc.input_channels = 6;
+  models::LimuBertBackbone backbone(bc);
+  models::ReconstructionHead head(72, 6, 3);
+  models::ClassifierConfig cc;
+  models::GruClassifier classifier(cc);
+
+  std::vector<std::int64_t> idx(32);
+  for (int i = 0; i < 32; ++i) idx[i] = i;
+  const data::Batch batch = data::make_batch(dataset, idx, data::Task::kActivityRecognition);
+
+  {  // backbone forward only (no grad)
+    NoGradGuard ng;
+    const auto start = Clock::now();
+    for (int r = 0; r < 5; ++r) Tensor h = backbone.encode(batch.inputs);
+    std::printf("backbone fwd (nograd, B=32) x5: %.0f ms\n", ms_since(start));
+  }
+  {  // backbone + head fwd+bwd, split timings
+    double fwd_ms = 0.0;
+    double bwd_ms = 0.0;
+    for (int r = 0; r < 5; ++r) {
+      backbone.zero_grad();
+      const auto f0 = Clock::now();
+      Tensor loss = mse(head.forward(backbone.encode(batch.inputs)), batch.inputs);
+      fwd_ms += ms_since(f0);
+      const auto b0 = Clock::now();
+      loss.backward();
+      bwd_ms += ms_since(b0);
+    }
+    std::printf("backbone+head x5: fwd(tape) %.0f ms, bwd %.0f ms\n", fwd_ms, bwd_ms);
+  }
+  {  // GRU classifier fwd+bwd (input from backbone, detached)
+    Tensor h;
+    {
+      NoGradGuard ng;
+      h = backbone.encode(batch.inputs);
+    }
+    Tensor hd = h.detach();
+    const auto start = Clock::now();
+    for (int r = 0; r < 5; ++r) {
+      classifier.zero_grad();
+      Tensor logits = classifier.forward(hd);
+      Tensor loss = cross_entropy(logits, batch.labels);
+      loss.backward();
+    }
+    std::printf("gru classifier fwd+bwd x5: %.0f ms (no backbone grads)\n",
+                ms_since(start));
+  }
+  {  // masking throughput
+    const auto start = Clock::now();
+    for (int r = 0; r < 20; ++r) {
+      for (auto level : mask::kAllLevels) {
+        auto m = mask::mask_batch(batch.inputs, level, {}, 1234 + r);
+      }
+    }
+    std::printf("mask_batch all 4 levels x20: %.0f ms\n", ms_since(start));
+  }
+  return 0;
+}

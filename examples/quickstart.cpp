@@ -1,0 +1,47 @@
+// Quickstart: the smallest end-to-end Saga run.
+//
+// Generates a small HHAR-like synthetic corpus, pre-trains the backbone with
+// all four masking tasks at uniform weights, fine-tunes a GRU classifier on a
+// 10% labelled subset for activity recognition, and prints test metrics next
+// to a no-pretraining control.
+//
+// Budgets are deliberately tiny so this finishes in well under a minute;
+// raise SAGA_EPOCHS / SAGA_SAMPLES for a closer look.
+#include <cstdio>
+
+#include "core/saga.hpp"
+#include "util/env.hpp"
+
+int main() {
+  using namespace saga;
+
+  const std::int64_t samples = util::env_int("SAGA_SAMPLES", 400);
+
+  std::printf("== Saga quickstart ==\n");
+  std::printf("generating HHAR-like synthetic dataset (%lld windows)...\n",
+              static_cast<long long>(samples));
+  const data::Dataset dataset = data::generate_dataset(data::hhar_like(samples));
+
+  core::PipelineConfig config = core::fast_profile();
+  config.pretrain.epochs = util::env_int("SAGA_EPOCHS", config.pretrain.epochs);
+  config.seed = 7;
+
+  core::Pipeline pipeline(dataset, data::Task::kActivityRecognition, config);
+
+  std::printf("running Saga(ran.) (uniform-ish multi-level masking)...\n");
+  const core::RunResult saga_run = pipeline.run(core::Method::kSagaRandom, 0.10);
+  std::printf("running No-Pretrain control...\n");
+  const core::RunResult control = pipeline.run(core::Method::kNoPretrain, 0.10);
+
+  std::printf("\n%-12s %10s %10s %10s\n", "method", "test acc", "test F1",
+              "#labelled");
+  std::printf("%-12s %9.1f%% %9.1f%% %10lld\n", "Saga(ran.)",
+              100.0 * saga_run.test.accuracy, 100.0 * saga_run.test.macro_f1,
+              static_cast<long long>(saga_run.labelled_samples));
+  std::printf("%-12s %9.1f%% %9.1f%% %10lld\n", "NoPretrain",
+              100.0 * control.test.accuracy, 100.0 * control.test.macro_f1,
+              static_cast<long long>(control.labelled_samples));
+  std::printf("\npre-training helped by %+.1f accuracy points\n",
+              100.0 * (saga_run.test.accuracy - control.test.accuracy));
+  return 0;
+}

@@ -1,0 +1,42 @@
+// User authentication (the paper's UA task and headline result: up to 51.6%
+// accuracy improvement on HHAR at a 5% labelling rate). Identifying WHO is
+// carrying the device depends on subtle per-user gait signatures, which is
+// exactly the semantics the sub-period / period masking levels target —
+// pre-training should clearly beat training from scratch here.
+#include <cstdio>
+
+#include "core/saga.hpp"
+#include "util/env.hpp"
+#include "util/table.hpp"
+
+using namespace saga;
+
+int main() {
+  const std::int64_t samples = util::env_int("SAGA_SAMPLES", 300);
+  const double rate = util::env_double("SAGA_RATE", 0.15);
+
+  std::printf("== User authentication on an HHAR-like corpus ==\n");
+  const data::Dataset dataset = data::generate_dataset(data::hhar_like(samples));
+  std::printf("dataset: %lld windows, %d users\n\n",
+              static_cast<long long>(dataset.size()), dataset.num_users);
+
+  core::PipelineConfig config = core::fast_profile();
+  config.backbone.dropout = 0.0;
+  config.seed = 23;
+  core::Pipeline pipeline(dataset, data::Task::kUserAuthentication, config);
+
+  util::Table table({"method", "test acc%", "test F1%", "#labelled"});
+  for (const auto method : {core::Method::kSagaRandom, core::Method::kLimu,
+                            core::Method::kNoPretrain}) {
+    std::printf("running %s...\n", core::method_name(method).c_str());
+    const auto result = pipeline.run(method, rate);
+    table.add_row({core::method_name(method),
+                   util::Table::fmt(100.0 * result.test.accuracy, 1),
+                   util::Table::fmt(100.0 * result.test.macro_f1, 1),
+                   std::to_string(result.labelled_samples)});
+  }
+  std::printf("\n");
+  table.print();
+  std::printf("\nchance level: %.1f%%\n", 100.0 / dataset.num_users);
+  return 0;
+}

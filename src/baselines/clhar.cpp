@@ -1,0 +1,73 @@
+#include "baselines/clhar.hpp"
+
+#include <chrono>
+#include <stdexcept>
+
+#include "baselines/augment.hpp"
+#include "data/batch.hpp"
+#include "nn/optimizer.hpp"
+#include "tensor/loss.hpp"
+#include "tensor/shape_ops.hpp"
+#include "util/logging.hpp"
+
+namespace saga::baselines {
+
+ClHarStats pretrain_clhar(models::LimuBertBackbone& backbone,
+                          const data::Dataset& dataset,
+                          const std::vector<std::int64_t>& indices,
+                          const ClHarConfig& config) {
+  if (indices.size() < 2) throw std::invalid_argument("clhar: needs >= 2 samples");
+  const auto start = std::chrono::steady_clock::now();
+  util::SeedSplitter seeds(config.seed);
+
+  models::PoolingHead projection(backbone.config().hidden_dim,
+                                 backbone.config().hidden_dim,
+                                 config.projection_dim, seeds.next());
+
+  std::vector<Tensor> params = backbone.parameters();
+  {
+    auto head_params = projection.parameters();
+    params.insert(params.end(), head_params.begin(), head_params.end());
+  }
+  nn::Adam::Options adam_options;
+  adam_options.lr = config.learning_rate;
+  nn::Adam optimizer(params, adam_options);
+
+  backbone.set_training(true);
+  projection.set_training(true);
+
+  data::BatchIterator batches(dataset, indices, data::Task::kActivityRecognition,
+                              config.batch_size, seeds.next());
+
+  ClHarStats stats;
+  for (std::int64_t epoch = 0; epoch < config.epochs; ++epoch) {
+    batches.reset();
+    double epoch_loss = 0.0;
+    std::int64_t batch_count = 0;
+    data::Batch batch;
+    while (batches.next(batch)) {
+      if (batch.inputs.size(0) < 2) continue;  // NT-Xent needs pairs
+      optimizer.zero_grad();
+      const Tensor view1 = random_view(batch.inputs, seeds.next());
+      const Tensor view2 = random_view(batch.inputs, seeds.next());
+      const Tensor z1 = projection.forward(backbone.encode(view1));
+      const Tensor z2 = projection.forward(backbone.encode(view2));
+      Tensor loss = nt_xent(concat({z1, z2}, 0), static_cast<float>(config.temperature));
+      loss.backward();
+      if (config.grad_clip > 0.0) optimizer.clip_grad_norm(config.grad_clip);
+      optimizer.step();
+      epoch_loss += loss.item();
+      ++batch_count;
+    }
+    stats.epoch_losses.push_back(epoch_loss / std::max<std::int64_t>(1, batch_count));
+    util::log_debug() << "clhar epoch " << epoch << " loss "
+                      << stats.epoch_losses.back();
+  }
+
+  stats.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return stats;
+}
+
+}  // namespace saga::baselines

@@ -1,0 +1,38 @@
+// CL-HAR baseline (paper §VII-A3): SimCLR-style contrastive pre-training on
+// IMU windows. Two augmented views per sample; the backbone + pooling
+// projection head is trained with NT-Xent to pull views of the same window
+// together.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "models/backbone.hpp"
+#include "models/classifier.hpp"
+
+namespace saga::baselines {
+
+struct ClHarConfig {
+  std::int64_t epochs = 50;
+  std::int64_t batch_size = 32;  // >= 2 required by NT-Xent
+  double learning_rate = 1e-3;
+  double temperature = 0.2;
+  std::int64_t projection_dim = 32;
+  double grad_clip = 5.0;
+  std::uint64_t seed = 17;
+};
+
+struct ClHarStats {
+  std::vector<double> epoch_losses;
+  double wall_seconds = 0.0;
+};
+
+/// Pre-trains `backbone` in place; the projection head is internal and
+/// discarded afterwards (standard SimCLR practice).
+ClHarStats pretrain_clhar(models::LimuBertBackbone& backbone,
+                          const data::Dataset& dataset,
+                          const std::vector<std::int64_t>& indices,
+                          const ClHarConfig& config);
+
+}  // namespace saga::baselines

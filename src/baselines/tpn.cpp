@@ -1,0 +1,93 @@
+#include "baselines/tpn.hpp"
+
+#include <chrono>
+#include <stdexcept>
+
+#include "baselines/augment.hpp"
+#include "data/batch.hpp"
+#include "models/classifier.hpp"
+#include "nn/optimizer.hpp"
+#include "tensor/loss.hpp"
+#include "tensor/reduce.hpp"
+#include "util/logging.hpp"
+
+namespace saga::baselines {
+
+TpnStats pretrain_tpn(models::LimuBertBackbone& backbone,
+                      const data::Dataset& dataset,
+                      const std::vector<std::int64_t>& indices,
+                      const TpnConfig& config) {
+  if (indices.empty()) throw std::invalid_argument("tpn: no samples");
+  const auto start = std::chrono::steady_clock::now();
+  util::SeedSplitter seeds(config.seed);
+  util::Rng label_rng(seeds.next());
+
+  models::PoolingHead head(backbone.config().hidden_dim,
+                           backbone.config().hidden_dim, kNumAugmentations,
+                           seeds.next());
+
+  std::vector<Tensor> params = backbone.parameters();
+  {
+    auto head_params = head.parameters();
+    params.insert(params.end(), head_params.begin(), head_params.end());
+  }
+  nn::Adam::Options adam_options;
+  adam_options.lr = config.learning_rate;
+  nn::Adam optimizer(params, adam_options);
+
+  backbone.set_training(true);
+  head.set_training(true);
+
+  data::BatchIterator batches(dataset, indices, data::Task::kActivityRecognition,
+                              config.batch_size, seeds.next());
+
+  TpnStats stats;
+  for (std::int64_t epoch = 0; epoch < config.epochs; ++epoch) {
+    batches.reset();
+    double epoch_loss = 0.0;
+    std::int64_t batch_count = 0;
+    std::int64_t correct = 0;
+    std::int64_t seen = 0;
+    data::Batch batch;
+    while (batches.next(batch)) {
+      optimizer.zero_grad();
+      const std::int64_t b = batch.inputs.size(0);
+      std::vector<std::int32_t> transform_ids(static_cast<std::size_t>(b));
+      std::vector<std::int64_t> labels(static_cast<std::size_t>(b));
+      for (std::size_t i = 0; i < transform_ids.size(); ++i) {
+        transform_ids[i] = static_cast<std::int32_t>(
+            label_rng.uniform_int(0, kNumAugmentations - 1));
+        labels[i] = transform_ids[i];
+      }
+      const Tensor transformed =
+          apply_per_sample(batch.inputs, transform_ids, seeds.next());
+      const Tensor logits = head.forward(backbone.encode(transformed));
+      Tensor loss = cross_entropy(logits, labels);
+      loss.backward();
+      if (config.grad_clip > 0.0) optimizer.clip_grad_norm(config.grad_clip);
+      optimizer.step();
+      epoch_loss += loss.item();
+      ++batch_count;
+
+      const auto predictions = argmax_lastdim(logits);
+      for (std::size_t i = 0; i < predictions.size(); ++i) {
+        correct += predictions[i] == labels[i] ? 1 : 0;
+        ++seen;
+      }
+    }
+    stats.epoch_losses.push_back(epoch_loss / std::max<std::int64_t>(1, batch_count));
+    if (seen > 0) {
+      stats.final_transform_accuracy =
+          static_cast<double>(correct) / static_cast<double>(seen);
+    }
+    util::log_debug() << "tpn epoch " << epoch << " loss "
+                      << stats.epoch_losses.back();
+  }
+
+  stats.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return stats;
+}
+
+}  // namespace saga::baselines

@@ -1,0 +1,37 @@
+// TPN baseline (paper §VII-A3, Saeed et al.): transformation-prediction
+// pre-training. Each window is transformed by one randomly chosen
+// augmentation and the model is trained to classify which transformation was
+// applied (multi-task self-supervision collapsed into one softmax head, the
+// common re-implementation).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "models/backbone.hpp"
+
+namespace saga::baselines {
+
+struct TpnConfig {
+  std::int64_t epochs = 50;
+  std::int64_t batch_size = 32;
+  double learning_rate = 1e-3;
+  double grad_clip = 5.0;
+  std::uint64_t seed = 19;
+};
+
+struct TpnStats {
+  std::vector<double> epoch_losses;
+  double final_transform_accuracy = 0.0;
+  double wall_seconds = 0.0;
+};
+
+/// Pre-trains `backbone` in place; the transform-classification head is
+/// internal and discarded afterwards.
+TpnStats pretrain_tpn(models::LimuBertBackbone& backbone,
+                      const data::Dataset& dataset,
+                      const std::vector<std::int64_t>& indices,
+                      const TpnConfig& config);
+
+}  // namespace saga::baselines

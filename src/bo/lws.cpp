@@ -1,0 +1,105 @@
+#include "bo/lws.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/logging.hpp"
+#include "util/rng.hpp"
+
+namespace saga::bo {
+
+namespace {
+
+TaskWeights sample_simplex(util::Rng& rng) {
+  TaskWeights w{};
+  double total = 0.0;
+  for (auto& value : w) {
+    value = -std::log(std::max(rng.uniform(), 1e-12));
+    total += value;
+  }
+  for (auto& value : w) value /= total;
+  return w;
+}
+
+std::vector<double> to_vec(const TaskWeights& w) {
+  return {w[0], w[1], w[2], w[3]};
+}
+
+}  // namespace
+
+TaskWeights sample_simplex_weights(std::uint64_t seed) {
+  util::Rng rng(seed);
+  return sample_simplex(rng);
+}
+
+LwsResult search_weights(const EvaluateFn& evaluate, const LwsConfig& config) {
+  if (!evaluate) throw std::invalid_argument("lws: null evaluate callback");
+  if (config.budget < 1 || config.initial_random < 1 || config.candidate_pool < 1) {
+    throw std::invalid_argument("lws: bad budgets");
+  }
+
+  util::Rng rng(config.seed);
+  LwsResult result;
+  result.best_performance = -1e300;
+
+  auto record = [&](const TaskWeights& weights, double performance) {
+    result.history.push_back({weights, performance});
+    if (performance > result.best_performance) {
+      result.best_performance = performance;
+      result.best_weights = weights;
+    }
+  };
+
+  // Alg. 1 lines 1-3: random warm-up trials.
+  for (std::int64_t i = 0; i < config.initial_random; ++i) {
+    const TaskWeights weights = sample_simplex(rng);
+    record(weights, evaluate(weights));
+  }
+
+  // Alg. 1 lines 4-13: BO loop.
+  std::int64_t stall = 0;
+  for (std::int64_t iter = 0; iter < config.budget; ++iter) {
+    GaussianProcess gp(config.gp);
+    {
+      std::vector<std::vector<double>> inputs;
+      std::vector<double> targets;
+      inputs.reserve(result.history.size());
+      targets.reserve(result.history.size());
+      for (const auto& trial : result.history) {
+        inputs.push_back(to_vec(trial.weights));
+        targets.push_back(trial.performance);
+      }
+      gp.fit(std::move(inputs), std::move(targets));
+    }
+
+    // Scan the candidate set W for the maximum Expected Improvement.
+    TaskWeights best_candidate{};
+    double best_ei = -1.0;
+    for (std::int64_t c = 0; c < config.candidate_pool; ++c) {
+      const TaskWeights candidate = sample_simplex(rng);
+      const auto prediction = gp.predict(to_vec(candidate));
+      const double ei = expected_improvement(prediction.mean, prediction.stddev,
+                                             result.best_performance);
+      if (ei > best_ei) {
+        best_ei = ei;
+        best_candidate = candidate;
+      }
+    }
+
+    const double before = result.best_performance;
+    record(best_candidate, evaluate(best_candidate));
+    util::log_debug() << "lws iter " << iter << " ei " << best_ei << " perf "
+                      << result.history.back().performance;
+
+    if (config.patience > 0) {
+      if (result.best_performance - before <= config.convergence_tol) {
+        if (++stall >= config.patience) break;
+      } else {
+        stall = 0;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace saga::bo

@@ -1,0 +1,54 @@
+// Low-Cost Weight Searching (paper §VI, Alg. 1): Bayesian Optimization over
+// the 4-dim pre-training-task weight vector. Each trial pre-trains +
+// fine-tunes a model (the `evaluate` callback) and reports validation
+// performance; the GP performance model plus Expected Improvement pick the
+// next trial until the budget is exhausted.
+#pragma once
+
+#include <array>
+#include <functional>
+#include <vector>
+
+#include "bo/gp.hpp"
+
+namespace saga::bo {
+
+using TaskWeights = std::array<double, 4>;  // {w_se, w_po, w_sp, w_pe}
+
+struct LwsConfig {
+  /// Total BO iterations after the random warm-up (Alg. 1's N_bud).
+  std::int64_t budget = 8;
+  /// Random trials used to seed the GP (Alg. 1's W_ran).
+  std::int64_t initial_random = 3;
+  /// Size of the candidate set W scanned by EI each iteration.
+  std::int64_t candidate_pool = 256;
+  /// Early stop when the best result has not improved by more than
+  /// `convergence_tol` for `patience` consecutive iterations (0 = disabled).
+  double convergence_tol = 1e-4;
+  std::int64_t patience = 0;
+  std::uint64_t seed = 13;
+  GaussianProcess::Options gp{};
+};
+
+struct LwsTrial {
+  TaskWeights weights{};
+  double performance = 0.0;
+};
+
+struct LwsResult {
+  TaskWeights best_weights{};
+  double best_performance = 0.0;
+  std::vector<LwsTrial> history;
+};
+
+/// Higher performance is better (validation accuracy).
+using EvaluateFn = std::function<double(const TaskWeights&)>;
+
+/// Samples a weight vector uniformly on the probability simplex
+/// (Dirichlet(1,1,1,1) via normalized exponentials).
+TaskWeights sample_simplex_weights(std::uint64_t seed);
+
+/// Runs Alg. 1 and returns the best weights found plus the full history.
+LwsResult search_weights(const EvaluateFn& evaluate, const LwsConfig& config);
+
+}  // namespace saga::bo

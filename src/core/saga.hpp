@@ -1,0 +1,22 @@
+// Umbrella header: include this to use the whole Saga library.
+#pragma once
+
+#include "baselines/augment.hpp"    // IWYU pragma: export
+#include "baselines/clhar.hpp"      // IWYU pragma: export
+#include "baselines/tpn.hpp"        // IWYU pragma: export
+#include "bo/gp.hpp"                // IWYU pragma: export
+#include "bo/lws.hpp"               // IWYU pragma: export
+#include "core/pipeline.hpp"        // IWYU pragma: export
+#include "data/batch.hpp"           // IWYU pragma: export
+#include "data/dataset.hpp"         // IWYU pragma: export
+#include "data/preprocess.hpp"      // IWYU pragma: export
+#include "data/synthetic.hpp"       // IWYU pragma: export
+#include "masking/masking.hpp"      // IWYU pragma: export
+#include "models/backbone.hpp"      // IWYU pragma: export
+#include "models/classifier.hpp"    // IWYU pragma: export
+#include "signal/fft.hpp"           // IWYU pragma: export
+#include "signal/keypoints.hpp"     // IWYU pragma: export
+#include "signal/period.hpp"        // IWYU pragma: export
+#include "train/finetune.hpp"       // IWYU pragma: export
+#include "train/metrics.hpp"        // IWYU pragma: export
+#include "train/pretrain.hpp"       // IWYU pragma: export

@@ -1,0 +1,45 @@
+// Mini-batch assembly: packs dataset windows into [B, T, C] tensors.
+#pragma once
+
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "tensor/tensor.hpp"
+#include "util/rng.hpp"
+
+namespace saga::data {
+
+struct Batch {
+  Tensor inputs;                      // [B, T, C]
+  std::vector<std::int64_t> labels;   // task labels, size B
+  std::vector<std::int64_t> indices;  // dataset indices, size B
+};
+
+/// Packs the given sample indices into one batch; labels come from `task`.
+Batch make_batch(const Dataset& dataset, const std::vector<std::int64_t>& indices,
+                 Task task);
+
+/// Iterates `indices` in shuffled mini-batches of size `batch_size`
+/// (the last partial batch is kept).
+class BatchIterator {
+ public:
+  BatchIterator(const Dataset& dataset, std::vector<std::int64_t> indices,
+                Task task, std::int64_t batch_size, std::uint64_t seed);
+
+  /// Reshuffles and restarts; call once per epoch.
+  void reset();
+  /// Returns false when the epoch is exhausted.
+  bool next(Batch& out);
+
+  std::int64_t batches_per_epoch() const noexcept;
+
+ private:
+  const Dataset* dataset_;
+  std::vector<std::int64_t> indices_;
+  Task task_;
+  std::int64_t batch_size_;
+  std::size_t cursor_ = 0;
+  util::Rng rng_;
+};
+
+}  // namespace saga::data

@@ -1,0 +1,110 @@
+#include "data/dataset.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace saga::data {
+
+std::string task_name(Task task) {
+  switch (task) {
+    case Task::kActivityRecognition: return "AR";
+    case Task::kUserAuthentication: return "UA";
+    case Task::kDevicePlacement: return "DP";
+  }
+  return "?";
+}
+
+std::int32_t Dataset::label(std::int64_t index, Task task) const {
+  const auto& s = samples.at(static_cast<std::size_t>(index));
+  switch (task) {
+    case Task::kActivityRecognition: return s.activity;
+    case Task::kUserAuthentication: return s.user;
+    case Task::kDevicePlacement: return s.placement;
+  }
+  throw std::logic_error("bad task");
+}
+
+std::int32_t Dataset::num_classes(Task task) const {
+  switch (task) {
+    case Task::kActivityRecognition: return num_activities;
+    case Task::kUserAuthentication: return num_users;
+    case Task::kDevicePlacement: return num_placements;
+  }
+  throw std::logic_error("bad task");
+}
+
+Split split_dataset(const Dataset& dataset, double train_fraction,
+                    double validation_fraction, std::uint64_t seed) {
+  if (train_fraction <= 0.0 || validation_fraction < 0.0 ||
+      train_fraction + validation_fraction >= 1.0) {
+    throw std::invalid_argument("split_dataset: bad fractions");
+  }
+  util::Rng rng(seed);
+  const auto order = rng.permutation(static_cast<std::size_t>(dataset.size()));
+  const auto n = static_cast<double>(order.size());
+  const auto train_end = static_cast<std::size_t>(n * train_fraction);
+  const auto val_end =
+      static_cast<std::size_t>(n * (train_fraction + validation_fraction));
+
+  Split split;
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    const auto idx = static_cast<std::int64_t>(order[i]);
+    if (i < train_end) split.train.push_back(idx);
+    else if (i < val_end) split.validation.push_back(idx);
+    else split.test.push_back(idx);
+  }
+  return split;
+}
+
+namespace {
+
+std::vector<std::int64_t> stratified_take(
+    const Dataset& dataset, const std::vector<std::int64_t>& indices, Task task,
+    std::uint64_t seed,
+    const std::function<std::size_t(std::size_t)>& take_of_class_size) {
+  std::map<std::int32_t, std::vector<std::int64_t>> by_class;
+  for (const auto idx : indices) by_class[dataset.label(idx, task)].push_back(idx);
+
+  util::Rng rng(seed);
+  std::vector<std::int64_t> out;
+  for (auto& [label, members] : by_class) {
+    std::shuffle(members.begin(), members.end(), rng.engine());
+    const std::size_t take =
+        std::max<std::size_t>(1, take_of_class_size(members.size()));
+    for (std::size_t i = 0; i < std::min(take, members.size()); ++i) {
+      out.push_back(members[i]);
+    }
+  }
+  std::shuffle(out.begin(), out.end(), rng.engine());
+  return out;
+}
+
+}  // namespace
+
+std::vector<std::int64_t> subsample_labelled(const Dataset& dataset,
+                                             const std::vector<std::int64_t>& indices,
+                                             Task task, double labelling_rate,
+                                             std::uint64_t seed) {
+  if (labelling_rate <= 0.0 || labelling_rate > 1.0) {
+    throw std::invalid_argument("subsample_labelled: rate must be in (0, 1]");
+  }
+  return stratified_take(dataset, indices, task, seed, [&](std::size_t class_size) {
+    return static_cast<std::size_t>(static_cast<double>(class_size) * labelling_rate);
+  });
+}
+
+std::vector<std::int64_t> subsample_per_class(const Dataset& dataset,
+                                              const std::vector<std::int64_t>& indices,
+                                              Task task, std::int64_t per_class,
+                                              std::uint64_t seed) {
+  if (per_class < 1) throw std::invalid_argument("subsample_per_class: per_class >= 1");
+  return stratified_take(dataset, indices, task, seed, [&](std::size_t) {
+    return static_cast<std::size_t>(per_class);
+  });
+}
+
+}  // namespace saga::data

@@ -1,0 +1,74 @@
+// Dataset containers and task definitions.
+//
+// A Dataset is a bag of fixed-length IMU windows, each carrying the labels of
+// every perception task the paper evaluates (Table III): activity recognition
+// (AR), user authentication (UA) and device placement (DP).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace saga::data {
+
+/// Downstream task (paper Table III).
+enum class Task { kActivityRecognition, kUserAuthentication, kDevicePlacement };
+
+std::string task_name(Task task);
+
+/// One sliced window of IMU readings, [length x channels] row-major
+/// (time-major). Channel convention: acc xyz, gyro xyz, then (optionally)
+/// mag xyz — already normalized per paper §VII-A2.
+struct IMUWindow {
+  std::vector<float> values;
+  std::int32_t activity = 0;
+  std::int32_t user = 0;
+  std::int32_t placement = 0;
+  std::int32_t device = 0;
+};
+
+struct Dataset {
+  std::string name;
+  std::int64_t window_length = 120;  // 6 s at 20 Hz (paper §VII-A2)
+  std::int64_t channels = 6;
+  std::int32_t num_activities = 0;
+  std::int32_t num_users = 0;
+  std::int32_t num_placements = 0;
+  std::int32_t num_devices = 0;
+  std::vector<IMUWindow> samples;
+
+  std::int64_t size() const noexcept {
+    return static_cast<std::int64_t>(samples.size());
+  }
+  /// Class label of sample `index` under `task`.
+  std::int32_t label(std::int64_t index, Task task) const;
+  /// Number of classes under `task`.
+  std::int32_t num_classes(Task task) const;
+};
+
+/// Deterministic train/validation/test split (paper: 6:2:2).
+struct Split {
+  std::vector<std::int64_t> train;
+  std::vector<std::int64_t> validation;
+  std::vector<std::int64_t> test;
+};
+
+Split split_dataset(const Dataset& dataset, double train_fraction,
+                    double validation_fraction, std::uint64_t seed);
+
+/// Subsamples `indices` to a labelling-rate fraction, stratified per class so
+/// every class keeps at least one sample (paper §VII-B evaluates rates
+/// 5/10/15/20%).
+std::vector<std::int64_t> subsample_labelled(const Dataset& dataset,
+                                             const std::vector<std::int64_t>& indices,
+                                             Task task, double labelling_rate,
+                                             std::uint64_t seed);
+
+/// Subsamples to at most `per_class` samples of each class.
+std::vector<std::int64_t> subsample_per_class(const Dataset& dataset,
+                                              const std::vector<std::int64_t>& indices,
+                                              Task task, std::int64_t per_class,
+                                              std::uint64_t seed);
+
+}  // namespace saga::data

@@ -1,0 +1,114 @@
+#include "data/preprocess.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace saga::data {
+
+Recording downsample(const Recording& recording, double target_hz) {
+  if (target_hz <= 0.0 || recording.sample_rate_hz <= 0.0) {
+    throw std::invalid_argument("downsample: rates must be positive");
+  }
+  if (recording.channels <= 0) {
+    throw std::invalid_argument("downsample: channels must be positive");
+  }
+  const auto factor = static_cast<std::int64_t>(
+      std::llround(recording.sample_rate_hz / target_hz));
+  if (factor <= 1) return recording;  // already at or below target
+
+  const std::int64_t in_length = recording.length();
+  const std::int64_t out_length = in_length / factor;
+  Recording out;
+  out.channels = recording.channels;
+  out.sample_rate_hz = recording.sample_rate_hz / static_cast<double>(factor);
+  out.values.resize(static_cast<std::size_t>(out_length * out.channels));
+
+  for (std::int64_t t = 0; t < out_length; ++t) {
+    for (std::int64_t c = 0; c < out.channels; ++c) {
+      double acc = 0.0;
+      for (std::int64_t k = 0; k < factor; ++k) {
+        acc += recording.values[static_cast<std::size_t>(
+            (t * factor + k) * recording.channels + c)];
+      }
+      out.values[static_cast<std::size_t>(t * out.channels + c)] =
+          static_cast<float>(acc / static_cast<double>(factor));
+    }
+  }
+  return out;
+}
+
+void normalize_accelerometer(Recording& recording, double g,
+                             std::int64_t acc_axes) {
+  if (g <= 0.0) throw std::invalid_argument("normalize_accelerometer: g > 0");
+  if (acc_axes > recording.channels) {
+    throw std::invalid_argument("normalize_accelerometer: acc_axes > channels");
+  }
+  const auto inv_g = static_cast<float>(1.0 / g);
+  const std::int64_t length = recording.length();
+  for (std::int64_t t = 0; t < length; ++t) {
+    float* row = recording.values.data() + t * recording.channels;
+    for (std::int64_t a = 0; a < acc_axes; ++a) row[a] *= inv_g;
+  }
+}
+
+void normalize_magnetometer(Recording& recording, std::int64_t mag_offset) {
+  if (mag_offset + 3 > recording.channels) {
+    throw std::invalid_argument("normalize_magnetometer: triad out of range");
+  }
+  const std::int64_t length = recording.length();
+  for (std::int64_t t = 0; t < length; ++t) {
+    float* m = recording.values.data() + t * recording.channels + mag_offset;
+    const double norm =
+        std::sqrt(double(m[0]) * m[0] + double(m[1]) * m[1] + double(m[2]) * m[2]);
+    if (norm <= 0.0) continue;
+    const auto inv = static_cast<float>(1.0 / norm);
+    m[0] *= inv;
+    m[1] *= inv;
+    m[2] *= inv;
+  }
+}
+
+std::vector<IMUWindow> slice_windows(const Recording& recording,
+                                     std::int64_t window_length,
+                                     std::int64_t stride, std::int32_t activity,
+                                     std::int32_t user, std::int32_t placement,
+                                     std::int32_t device) {
+  if (window_length < 1 || stride < 1) {
+    throw std::invalid_argument("slice_windows: window/stride must be >= 1");
+  }
+  std::vector<IMUWindow> windows;
+  const std::int64_t length = recording.length();
+  for (std::int64_t start = 0; start + window_length <= length; start += stride) {
+    IMUWindow window;
+    window.activity = activity;
+    window.user = user;
+    window.placement = placement;
+    window.device = device;
+    const auto begin = recording.values.begin() +
+                       static_cast<std::ptrdiff_t>(start * recording.channels);
+    window.values.assign(
+        begin, begin + static_cast<std::ptrdiff_t>(window_length * recording.channels));
+    windows.push_back(std::move(window));
+  }
+  return windows;
+}
+
+std::int64_t ingest_recording(Dataset& dataset, Recording recording,
+                              double target_hz, std::int32_t activity,
+                              std::int32_t user, std::int32_t placement,
+                              std::int32_t device, double g) {
+  if (recording.channels != dataset.channels) {
+    throw std::invalid_argument("ingest_recording: channel mismatch");
+  }
+  Recording resampled = downsample(recording, target_hz);
+  normalize_accelerometer(resampled, g);
+  if (resampled.channels >= 9) normalize_magnetometer(resampled, 6);
+  auto windows = slice_windows(resampled, dataset.window_length,
+                               dataset.window_length, activity, user, placement,
+                               device);
+  const auto added = static_cast<std::int64_t>(windows.size());
+  for (auto& window : windows) dataset.samples.push_back(std::move(window));
+  return added;
+}
+
+}  // namespace saga::data

@@ -1,0 +1,303 @@
+#include "data/synthetic.hpp"
+
+#include <array>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace saga::data {
+
+namespace {
+
+constexpr double kTwoPi = 2.0 * std::numbers::pi;
+constexpr int kHarmonics = 4;
+
+/// Cadence (Hz), base amplitude (g), and dominant-axis weights per activity.
+/// Activities beyond the table wrap around with a cadence offset so datasets
+/// with 7+ classes stay distinguishable.
+struct ActivityProfile {
+  double cadence_hz;   // 0 = static posture
+  double amplitude;    // peak acceleration in g
+  std::array<double, 3> axis_weights;
+  double tremor_scale; // static activities: tremor amplitude multiplier
+};
+
+constexpr std::array<ActivityProfile, 7> kActivityTable{{
+    {1.80, 1.00, {0.30, 0.25, 1.00}, 0.0},  // walking
+    {2.60, 2.00, {0.45, 0.35, 1.00}, 0.0},  // jogging / running
+    {0.00, 0.00, {0.00, 0.00, 0.00}, 1.0},  // sitting
+    {0.00, 0.00, {0.00, 0.00, 0.00}, 1.8},  // standing
+    {1.40, 1.25, {0.55, 0.30, 1.00}, 0.0},  // walking upstairs
+    {1.55, 1.35, {0.60, 0.35, 1.00}, 0.0},  // walking downstairs
+    {1.10, 0.90, {1.00, 0.55, 0.40}, 0.0},  // biking
+}};
+
+/// Harmonic envelope of the periodic gait component; the per-user signature
+/// multiplies these.
+constexpr std::array<double, kHarmonics> kHarmonicEnvelope{1.0, 0.55, 0.30, 0.15};
+
+struct UserSignature {
+  double cadence_scale;
+  std::array<double, kHarmonics> harmonic_amps;
+  std::array<double, kHarmonics> harmonic_phases;
+  double gyro_phase_shift;
+  double gyro_gain;
+  double tremor_freq_hz;
+  double tremor_amp;
+  std::array<double, 3> posture_tilt;  // static-posture gravity perturbation
+};
+
+struct PlacementProfile {
+  std::array<std::array<double, 3>, 3> rotation;
+  double attenuation;
+  std::array<double, 3> gravity;  // unit gravity direction in sensor frame
+};
+
+struct DeviceProfile {
+  double noise_sigma;
+  double gain;
+  std::array<double, 3> acc_bias;
+  std::array<double, 3> gyro_bias;
+};
+
+std::uint64_t mix_seed(std::uint64_t seed, std::uint64_t salt, std::uint64_t id) {
+  std::uint64_t state = seed ^ (salt * 0x9E3779B97F4A7C15ULL) ^ (id + 1);
+  return util::splitmix64(state);
+}
+
+UserSignature make_user(std::uint64_t seed, std::int64_t user) {
+  util::Rng rng(mix_seed(seed, 0xA11CE, static_cast<std::uint64_t>(user)));
+  UserSignature sig{};
+  sig.cadence_scale = rng.uniform(0.90, 1.10);
+  for (int k = 0; k < kHarmonics; ++k) {
+    sig.harmonic_amps[static_cast<std::size_t>(k)] = rng.uniform(0.55, 1.45);
+    sig.harmonic_phases[static_cast<std::size_t>(k)] = rng.uniform(0.0, kTwoPi);
+  }
+  sig.gyro_phase_shift = rng.uniform(0.2, 1.2);
+  sig.gyro_gain = rng.uniform(0.45, 0.80);
+  sig.tremor_freq_hz = rng.uniform(6.5, 9.5);
+  sig.tremor_amp = rng.uniform(0.015, 0.050);
+  for (auto& t : sig.posture_tilt) t = rng.uniform(-0.12, 0.12);
+  return sig;
+}
+
+std::array<std::array<double, 3>, 3> rotation_zyx(double yaw, double pitch,
+                                                  double roll) {
+  const double cy = std::cos(yaw), sy = std::sin(yaw);
+  const double cp = std::cos(pitch), sp = std::sin(pitch);
+  const double cr = std::cos(roll), sr = std::sin(roll);
+  return {{{cy * cp, cy * sp * sr - sy * cr, cy * sp * cr + sy * sr},
+           {sy * cp, sy * sp * sr + cy * cr, sy * sp * cr - cy * sr},
+           {-sp, cp * sr, cp * cr}}};
+}
+
+PlacementProfile make_placement(std::uint64_t seed, std::int64_t placement) {
+  util::Rng rng(mix_seed(seed, 0xB0D7, static_cast<std::uint64_t>(placement)));
+  PlacementProfile profile{};
+  // Deliberately spread orientations so DP classes are separable by posture.
+  const double yaw = rng.uniform(0.0, kTwoPi);
+  const double pitch = rng.uniform(-0.6, 0.6) +
+                       0.5 * static_cast<double>(placement % 5);
+  const double roll = rng.uniform(-0.5, 0.5);
+  profile.rotation = rotation_zyx(yaw, pitch, roll);
+  profile.attenuation = 1.0 - 0.08 * static_cast<double>(placement % 5);
+  // Gravity direction = third row of the rotation (sensor-frame z of world g).
+  profile.gravity = profile.rotation[2];
+  return profile;
+}
+
+DeviceProfile make_device(std::uint64_t seed, std::int64_t device) {
+  util::Rng rng(mix_seed(seed, 0xDE1CE, static_cast<std::uint64_t>(device)));
+  DeviceProfile profile{};
+  profile.noise_sigma = rng.uniform(0.010, 0.045);
+  profile.gain = rng.uniform(0.95, 1.05);
+  for (auto& b : profile.acc_bias) b = rng.uniform(-0.02, 0.02);
+  for (auto& b : profile.gyro_bias) b = rng.uniform(-0.015, 0.015);
+  return profile;
+}
+
+void synthesize_window(const SyntheticSpec& spec, const ActivityProfile& act,
+                       const UserSignature& user, const PlacementProfile& place,
+                       const DeviceProfile& device, util::Rng& rng,
+                       std::vector<float>& out) {
+  const std::int64_t t_len = spec.window_length;
+  const std::int64_t channels = spec.channels;
+  out.assign(static_cast<std::size_t>(t_len * channels), 0.0F);
+
+  const double dt = 1.0 / spec.sample_rate_hz;
+  const double phase0 = rng.uniform(0.0, kTwoPi);
+  const double cadence = act.cadence_hz * user.cadence_scale;
+
+  // Latent scalar gait signal and its phase-shifted gyro counterpart.
+  auto gait = [&](double time, double shift) {
+    double value = 0.0;
+    for (int k = 0; k < kHarmonics; ++k) {
+      const auto ku = static_cast<std::size_t>(k);
+      value += act.amplitude * kHarmonicEnvelope[ku] * user.harmonic_amps[ku] *
+               std::sin(kTwoPi * (k + 1) * cadence * time +
+                        user.harmonic_phases[ku] + phase0 + shift * (k + 1));
+    }
+    return value;
+  };
+
+  for (std::int64_t t = 0; t < t_len; ++t) {
+    const double time = static_cast<double>(t) * dt;
+    std::array<double, 3> acc{};
+    std::array<double, 3> gyro{};
+
+    if (act.cadence_hz > 0.0) {
+      const double s = gait(time, 0.0);
+      const double g = gait(time, user.gyro_phase_shift);
+      for (int axis = 0; axis < 3; ++axis) {
+        const auto au = static_cast<std::size_t>(axis);
+        acc[au] = act.axis_weights[au] * s;
+        gyro[au] = act.axis_weights[au] * user.gyro_gain * g;
+      }
+    } else {
+      // Static posture: user-identifying micro tremor.
+      const double tremor =
+          user.tremor_amp * act.tremor_scale *
+          std::sin(kTwoPi * user.tremor_freq_hz * time + phase0);
+      acc = {tremor, 0.6 * tremor, 0.8 * tremor};
+      gyro = {0.4 * tremor, 0.5 * tremor, 0.3 * tremor};
+    }
+
+    // Rotate into the placement frame, attenuate, add gravity and posture.
+    std::array<double, 3> acc_rot{};
+    std::array<double, 3> gyro_rot{};
+    for (int i = 0; i < 3; ++i) {
+      const auto iu = static_cast<std::size_t>(i);
+      for (int j = 0; j < 3; ++j) {
+        const auto ju = static_cast<std::size_t>(j);
+        acc_rot[iu] += place.rotation[iu][ju] * acc[ju];
+        gyro_rot[iu] += place.rotation[iu][ju] * gyro[ju];
+      }
+      acc_rot[iu] = acc_rot[iu] * place.attenuation + place.gravity[iu] +
+                    (act.cadence_hz > 0.0 ? 0.0 : user.posture_tilt[iu]);
+      gyro_rot[iu] *= place.attenuation;
+    }
+
+    float* row = out.data() + t * channels;
+    for (int i = 0; i < 3; ++i) {
+      const auto iu = static_cast<std::size_t>(i);
+      const double acc_v = device.gain * acc_rot[iu] + device.acc_bias[iu] +
+                           rng.normal(0.0, device.noise_sigma);
+      const double gyro_v = device.gain * gyro_rot[iu] + device.gyro_bias[iu] +
+                            rng.normal(0.0, device.noise_sigma);
+      row[i] = static_cast<float>(acc_v);        // already in g units
+      row[3 + i] = static_cast<float>(gyro_v);
+    }
+    if (channels >= 9) {
+      // Magnetometer: placement-rotated north vector with small noise, unit
+      // normalized per paper §VII-A2.
+      std::array<double, 3> mag{};
+      double norm_sq = 0.0;
+      for (int i = 0; i < 3; ++i) {
+        const auto iu = static_cast<std::size_t>(i);
+        mag[iu] = place.rotation[iu][0] + rng.normal(0.0, 0.02);
+        norm_sq += mag[iu] * mag[iu];
+      }
+      const double inv = 1.0 / std::sqrt(std::max(norm_sq, 1e-9));
+      for (int i = 0; i < 3; ++i) {
+        row[6 + i] = static_cast<float>(mag[static_cast<std::size_t>(i)] * inv);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+SyntheticSpec hhar_like(std::int64_t num_samples) {
+  SyntheticSpec spec;
+  spec.name = "hhar";
+  spec.num_activities = 6;
+  spec.num_users = 9;
+  spec.num_placements = 1;
+  spec.num_devices = 6;
+  spec.channels = 6;
+  spec.num_samples = num_samples;
+  spec.seed = 0x44A4;
+  return spec;
+}
+
+SyntheticSpec motion_like(std::int64_t num_samples) {
+  SyntheticSpec spec;
+  spec.name = "motion";
+  spec.num_activities = 6;
+  spec.num_users = 24;
+  spec.num_placements = 1;
+  spec.num_devices = 1;
+  spec.channels = 6;
+  spec.num_samples = num_samples;
+  spec.seed = 0x30710;
+  return spec;
+}
+
+SyntheticSpec shoaib_like(std::int64_t num_samples) {
+  SyntheticSpec spec;
+  spec.name = "shoaib";
+  spec.num_activities = 7;
+  spec.num_users = 10;
+  spec.num_placements = 5;
+  spec.num_devices = 1;
+  spec.channels = 9;
+  spec.num_samples = num_samples;
+  spec.seed = 0x50A1B;
+  return spec;
+}
+
+Dataset generate_dataset(const SyntheticSpec& spec) {
+  if (spec.num_activities < 1 || spec.num_users < 1 || spec.num_placements < 1 ||
+      spec.num_devices < 1 || spec.num_samples < 1) {
+    throw std::invalid_argument("generate_dataset: bad spec counts");
+  }
+  if (spec.channels != 6 && spec.channels != 9) {
+    throw std::invalid_argument("generate_dataset: channels must be 6 or 9");
+  }
+
+  Dataset dataset;
+  dataset.name = spec.name;
+  dataset.window_length = spec.window_length;
+  dataset.channels = spec.channels;
+  dataset.num_activities = spec.num_activities;
+  dataset.num_users = spec.num_users;
+  dataset.num_placements = spec.num_placements;
+  dataset.num_devices = spec.num_devices;
+  dataset.samples.resize(static_cast<std::size_t>(spec.num_samples));
+
+  // Pre-build per-entity profiles.
+  std::vector<UserSignature> users;
+  for (std::int32_t u = 0; u < spec.num_users; ++u) {
+    users.push_back(make_user(spec.seed, u));
+  }
+  std::vector<PlacementProfile> placements;
+  for (std::int32_t p = 0; p < spec.num_placements; ++p) {
+    placements.push_back(make_placement(spec.seed, p));
+  }
+  std::vector<DeviceProfile> devices;
+  for (std::int32_t d = 0; d < spec.num_devices; ++d) {
+    devices.push_back(make_device(spec.seed, d));
+  }
+
+  util::parallel_for(0, static_cast<std::size_t>(spec.num_samples), [&](std::size_t i) {
+    util::Rng rng(mix_seed(spec.seed, 0x5A3A, i));
+    IMUWindow& w = dataset.samples[i];
+    w.activity = static_cast<std::int32_t>(rng.uniform_int(0, spec.num_activities - 1));
+    w.user = static_cast<std::int32_t>(rng.uniform_int(0, spec.num_users - 1));
+    w.placement =
+        static_cast<std::int32_t>(rng.uniform_int(0, spec.num_placements - 1));
+    w.device = static_cast<std::int32_t>(rng.uniform_int(0, spec.num_devices - 1));
+
+    const ActivityProfile& act =
+        kActivityTable[static_cast<std::size_t>(w.activity) % kActivityTable.size()];
+    synthesize_window(spec, act, users[static_cast<std::size_t>(w.user)],
+                      placements[static_cast<std::size_t>(w.placement)],
+                      devices[static_cast<std::size_t>(w.device)], rng, w.values);
+  });
+  return dataset;
+}
+
+}  // namespace saga::data

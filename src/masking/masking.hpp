@@ -1,0 +1,75 @@
+// Multi-level masking (paper §IV): the four pre-training tasks of Saga.
+//
+//  * sensor level     (§IV-B, Eq. 3): zero whole sensor axes;
+//  * point level      (§IV-C, Eq. 4): zero one contiguous time span, span
+//    length ~ clipped geometric (SpanBERT-style span masking);
+//  * sub-period level (§IV-D, Eq. 5): zero one sub-period delimited by
+//    filtered energy key points (Eqs. 1-2);
+//  * period level     (§IV-E, Eq. 6): zero one whole main period, the period
+//    coming from the FFT of the energy series (T_main = 1 / f_max).
+//
+// Every mask returns both the masked window and a {0,1} indicator aligned
+// with it; the reconstruction loss is evaluated on indicator==1 positions.
+#pragma once
+
+#include <array>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "signal/keypoints.hpp"
+#include "signal/period.hpp"
+#include "tensor/tensor.hpp"
+#include "util/rng.hpp"
+
+namespace saga::mask {
+
+enum class MaskLevel { kSensor, kPoint, kSubPeriod, kPeriod };
+
+/// All four levels in the paper's order {se, po, sp, pe}.
+inline constexpr std::array<MaskLevel, 4> kAllLevels{
+    MaskLevel::kSensor, MaskLevel::kPoint, MaskLevel::kSubPeriod,
+    MaskLevel::kPeriod};
+
+std::string level_name(MaskLevel level);
+
+struct MaskingOptions {
+  /// Sensor level: how many axes to mask per window.
+  std::int64_t sensor_axes = 1;
+  /// Point level: success probability of the geometric span-length draw.
+  double span_p = 0.2;
+  /// Point level: maximum span length l_max.
+  std::int64_t span_max = 24;
+  /// Sub-period level: key-point filtering parameters (paper Eqs. 1-2).
+  signal::KeyPointOptions keypoints{};
+  /// Period level: main-period detection parameters.
+  signal::PeriodOptions period{};
+  /// Number of leading accelerometer axes used for the energy series.
+  std::int64_t acc_axes = 3;
+  /// Period-level fallback when no periodicity is detected (static postures):
+  /// the window is partitioned into this many equal segments and one is
+  /// masked. Documented substitution — the paper does not define this case.
+  std::int64_t aperiodic_segments = 4;
+};
+
+struct MaskResult {
+  std::vector<float> masked;  // window with masked entries zeroed
+  std::vector<float> mask;    // 1.0 at masked entries, else 0.0
+};
+
+/// Masks one window ([length x channels] row-major) at the given level.
+MaskResult mask_window(std::span<const float> window, std::int64_t length,
+                       std::int64_t channels, MaskLevel level,
+                       const MaskingOptions& options, util::Rng& rng);
+
+struct BatchMask {
+  Tensor masked;  // [B, T, C]
+  Tensor mask;    // [B, T, C], 1.0 at masked entries
+};
+
+/// Masks a whole batch [B, T, C]; each sample gets an independent seed
+/// derived from `seed` so results are deterministic under parallelism.
+BatchMask mask_batch(const Tensor& inputs, MaskLevel level,
+                     const MaskingOptions& options, std::uint64_t seed);
+
+}  // namespace saga::mask

@@ -1,0 +1,61 @@
+// LIMU-BERT-style backbone (paper §VII-A1): input projection + learned
+// positional embedding + 4 lightweight post-LN transformer blocks with
+// hidden dimension 72. The same backbone is shared by Saga, LIMU and the
+// contrastive baselines so comparisons are architecture-controlled, exactly
+// as in the paper.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "nn/layers.hpp"
+#include "nn/linear.hpp"
+#include "nn/module.hpp"
+#include "nn/transformer.hpp"
+
+namespace saga::models {
+
+struct BackboneConfig {
+  std::int64_t input_channels = 6;
+  std::int64_t max_seq_len = 120;
+  std::int64_t hidden_dim = 72;
+  std::int64_t num_blocks = 4;
+  std::int64_t num_heads = 4;
+  std::int64_t ff_dim = 144;
+  double dropout = 0.1;
+  std::uint64_t seed = 1;
+};
+
+class LimuBertBackbone : public nn::Module {
+ public:
+  explicit LimuBertBackbone(const BackboneConfig& config);
+
+  /// Encodes [B, T, C] IMU windows into [B, T, H] representations.
+  Tensor encode(const Tensor& x);
+
+  const BackboneConfig& config() const noexcept { return config_; }
+
+ private:
+  BackboneConfig config_;
+  std::shared_ptr<nn::Linear> input_proj_;
+  Tensor positional_;  // [max_seq_len, H]
+  std::shared_ptr<nn::LayerNorm> input_norm_;
+  std::shared_ptr<nn::Dropout> input_dropout_;
+  std::vector<std::shared_ptr<nn::TransformerBlock>> blocks_;
+};
+
+/// Reconstruction decoder for masked pre-training: H -> H (GELU) -> C.
+class ReconstructionHead : public nn::Module {
+ public:
+  ReconstructionHead(std::int64_t hidden_dim, std::int64_t output_channels,
+                     std::uint64_t seed);
+
+  /// [B, T, H] -> [B, T, C] reconstruction.
+  Tensor forward(const Tensor& h) const;
+
+ private:
+  std::shared_ptr<nn::Linear> fc1_;
+  std::shared_ptr<nn::Linear> fc2_;
+};
+
+}  // namespace saga::models

@@ -1,0 +1,35 @@
+#include "models/classifier.hpp"
+
+#include "tensor/ops.hpp"
+#include "tensor/reduce.hpp"
+
+namespace saga::models {
+
+GruClassifier::GruClassifier(const ClassifierConfig& config) : config_(config) {
+  util::Rng rng(config.seed);
+  gru_ = register_module(
+      "gru", std::make_shared<nn::GRU>(config.input_dim, config.gru_hidden,
+                                       config.gru_layers, rng));
+  output_ = register_module(
+      "output",
+      std::make_shared<nn::Linear>(config.gru_hidden, config.num_classes, rng));
+}
+
+Tensor GruClassifier::forward(const Tensor& h) const {
+  return output_->forward(gru_->forward(h));
+}
+
+PoolingHead::PoolingHead(std::int64_t input_dim, std::int64_t hidden_dim,
+                         std::int64_t output_dim, std::uint64_t seed) {
+  util::Rng rng(seed);
+  fc1_ = register_module("fc1",
+                         std::make_shared<nn::Linear>(input_dim, hidden_dim, rng));
+  fc2_ = register_module("fc2",
+                         std::make_shared<nn::Linear>(hidden_dim, output_dim, rng));
+}
+
+Tensor PoolingHead::forward(const Tensor& h) const {
+  return fc2_->forward(relu(fc1_->forward(mean_over_time(h))));
+}
+
+}  // namespace saga::models

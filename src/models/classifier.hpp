@@ -1,0 +1,51 @@
+// Downstream classifier heads. The paper uses a GRU classifier on top of the
+// backbone's output sequence (§VII-A1, following LIMU-BERT); a linear head is
+// provided for the TPN/CL-HAR baselines' auxiliary tasks.
+#pragma once
+
+#include <memory>
+
+#include "nn/gru.hpp"
+#include "nn/linear.hpp"
+#include "nn/module.hpp"
+
+namespace saga::models {
+
+struct ClassifierConfig {
+  std::int64_t input_dim = 72;   // backbone hidden size
+  std::int64_t gru_hidden = 64;
+  std::int64_t gru_layers = 1;
+  std::int64_t num_classes = 6;
+  std::uint64_t seed = 2;
+};
+
+class GruClassifier : public nn::Module {
+ public:
+  explicit GruClassifier(const ClassifierConfig& config);
+
+  /// [B, T, H] representations -> [B, num_classes] logits.
+  Tensor forward(const Tensor& h) const;
+
+  const ClassifierConfig& config() const noexcept { return config_; }
+
+ private:
+  ClassifierConfig config_;
+  std::shared_ptr<nn::GRU> gru_;
+  std::shared_ptr<nn::Linear> output_;
+};
+
+/// Mean-pool + MLP head used by contrastive/transformation baselines.
+class PoolingHead : public nn::Module {
+ public:
+  PoolingHead(std::int64_t input_dim, std::int64_t hidden_dim,
+              std::int64_t output_dim, std::uint64_t seed);
+
+  /// [B, T, H] -> [B, output_dim].
+  Tensor forward(const Tensor& h) const;
+
+ private:
+  std::shared_ptr<nn::Linear> fc1_;
+  std::shared_ptr<nn::Linear> fc2_;
+};
+
+}  // namespace saga::models

@@ -1,0 +1,16 @@
+// Weight initialization schemes.
+#pragma once
+
+#include "tensor/tensor.hpp"
+#include "util/rng.hpp"
+
+namespace saga::nn {
+
+/// Xavier/Glorot uniform: U(-a, a), a = sqrt(6 / (fan_in + fan_out)).
+Tensor xavier_uniform(Shape shape, std::int64_t fan_in, std::int64_t fan_out,
+                      util::Rng& rng);
+
+/// Kaiming/He normal for ReLU-family activations: N(0, sqrt(2 / fan_in)).
+Tensor kaiming_normal(Shape shape, std::int64_t fan_in, util::Rng& rng);
+
+}  // namespace saga::nn

@@ -1,0 +1,23 @@
+#include "nn/layers.hpp"
+
+#include "tensor/ops.hpp"
+#include "tensor/reduce.hpp"
+
+namespace saga::nn {
+
+LayerNorm::LayerNorm(std::int64_t dim, float eps) : eps_(eps) {
+  gamma_ = register_parameter("gamma", Tensor::ones({dim}, true));
+  beta_ = register_parameter("beta", Tensor::zeros({dim}, true));
+}
+
+Tensor LayerNorm::forward(const Tensor& x) const {
+  return layer_norm_lastdim(x, gamma_, beta_, eps_);
+}
+
+Dropout::Dropout(double p, std::uint64_t seed) : p_(p), rng_(seed) {}
+
+Tensor Dropout::forward(const Tensor& x) {
+  return dropout(x, p_, training(), rng_);
+}
+
+}  // namespace saga::nn

@@ -1,0 +1,33 @@
+// Small stateless-ish layers: LayerNorm and Dropout.
+#pragma once
+
+#include "nn/module.hpp"
+#include "util/rng.hpp"
+
+namespace saga::nn {
+
+/// Layer normalization over the last dimension with learned scale/shift.
+class LayerNorm : public Module {
+ public:
+  explicit LayerNorm(std::int64_t dim, float eps = 1e-5F);
+  Tensor forward(const Tensor& x) const;
+
+ private:
+  Tensor gamma_;
+  Tensor beta_;
+  float eps_;
+};
+
+/// Inverted dropout; active only while the module is in training mode.
+/// Owns its RNG stream so forward() stays const-correct for sibling layers.
+class Dropout : public Module {
+ public:
+  Dropout(double p, std::uint64_t seed);
+  Tensor forward(const Tensor& x);
+
+ private:
+  double p_;
+  util::Rng rng_;
+};
+
+}  // namespace saga::nn

@@ -1,0 +1,40 @@
+#include "nn/linear.hpp"
+
+#include <stdexcept>
+
+#include "nn/init.hpp"
+#include "tensor/matmul.hpp"
+#include "tensor/ops.hpp"
+#include "tensor/shape_ops.hpp"
+
+namespace saga::nn {
+
+Linear::Linear(std::int64_t in_features, std::int64_t out_features,
+               util::Rng& rng, bool with_bias)
+    : in_(in_features), out_(out_features) {
+  weight_ = register_parameter(
+      "weight", xavier_uniform({in_, out_}, in_, out_, rng));
+  if (with_bias) {
+    bias_ = register_parameter("bias", Tensor::zeros({out_}, true));
+  }
+}
+
+Tensor Linear::forward(const Tensor& x) const {
+  Tensor flat = x;
+  const bool is_3d = x.dim() == 3;
+  if (is_3d) {
+    flat = reshape(x, {-1, in_});
+  } else if (x.dim() != 2) {
+    throw std::invalid_argument("Linear: input must be 2-D or 3-D");
+  }
+  if (flat.size(1) != in_) {
+    throw std::invalid_argument("Linear: expected " + std::to_string(in_) +
+                                " features, got " + std::to_string(flat.size(1)));
+  }
+  Tensor y = matmul(flat, weight_);
+  if (bias_.defined()) y = add(y, bias_);
+  if (is_3d) y = reshape(y, {x.size(0), x.size(1), out_});
+  return y;
+}
+
+}  // namespace saga::nn

@@ -1,0 +1,28 @@
+// Fully connected layer.
+#pragma once
+
+#include "nn/module.hpp"
+#include "util/rng.hpp"
+
+namespace saga::nn {
+
+/// y = x W + b. Accepts [N, in] or [B, T, in] inputs (the 3-D case is
+/// flattened to 2-D for the matmul and restored afterwards).
+class Linear : public Module {
+ public:
+  Linear(std::int64_t in_features, std::int64_t out_features, util::Rng& rng,
+         bool with_bias = true);
+
+  Tensor forward(const Tensor& x) const;
+
+  std::int64_t in_features() const noexcept { return in_; }
+  std::int64_t out_features() const noexcept { return out_; }
+
+ private:
+  std::int64_t in_;
+  std::int64_t out_;
+  Tensor weight_;  // [in, out]
+  Tensor bias_;    // [out] (undefined when with_bias=false)
+};
+
+}  // namespace saga::nn

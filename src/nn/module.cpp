@@ -1,0 +1,77 @@
+#include "nn/module.hpp"
+
+#include <stdexcept>
+
+namespace saga::nn {
+
+std::vector<Tensor> Module::parameters() const {
+  std::vector<Tensor> out;
+  collect_params(out);
+  return out;
+}
+
+void Module::collect_params(std::vector<Tensor>& out) const {
+  for (const auto& [name, tensor] : params_) out.push_back(tensor);
+  for (const auto& [name, child] : children_) child->collect_params(out);
+}
+
+std::int64_t Module::num_parameters() const {
+  std::int64_t total = 0;
+  for (const auto& p : parameters()) total += p.numel();
+  return total;
+}
+
+util::NamedBlobs Module::state_dict() const {
+  util::NamedBlobs blobs;
+  collect("", blobs);
+  return blobs;
+}
+
+void Module::collect(const std::string& prefix, util::NamedBlobs& out) const {
+  for (const auto& [name, tensor] : params_) {
+    const auto view = tensor.data();
+    out[prefix + name] = std::vector<float>(view.begin(), view.end());
+  }
+  for (const auto& [name, child] : children_) {
+    child->collect(prefix + name + ".", out);
+  }
+}
+
+void Module::load_state_dict(const util::NamedBlobs& blobs) {
+  assign("", blobs);
+}
+
+void Module::assign(const std::string& prefix, const util::NamedBlobs& blobs) {
+  for (auto& [name, tensor] : params_) {
+    const std::string full = prefix + name;
+    const auto it = blobs.find(full);
+    if (it == blobs.end()) {
+      throw std::runtime_error("load_state_dict: missing parameter " + full);
+    }
+    auto dst = tensor.data();
+    if (it->second.size() != dst.size()) {
+      throw std::runtime_error("load_state_dict: size mismatch for " + full);
+    }
+    std::copy(it->second.begin(), it->second.end(), dst.begin());
+  }
+  for (auto& [name, child] : children_) {
+    child->assign(prefix + name + ".", blobs);
+  }
+}
+
+void Module::zero_grad() {
+  for (auto& p : parameters()) p.zero_grad();
+}
+
+void Module::set_training(bool training) {
+  training_ = training;
+  for (auto& [name, child] : children_) child->set_training(training);
+}
+
+Tensor& Module::register_parameter(std::string name, Tensor tensor) {
+  if (!tensor.requires_grad()) tensor.set_requires_grad(true);
+  params_.emplace_back(std::move(name), std::move(tensor));
+  return params_.back().second;
+}
+
+}  // namespace saga::nn

@@ -1,0 +1,67 @@
+// Module: base class for neural-network building blocks.
+//
+// A module owns named parameters and named child modules; parameters(),
+// state_dict() and load_state_dict() walk the hierarchy with dotted names
+// ("encoder.blocks.0.attn.wq.weight"), which is what the checkpoint format
+// stores. Concrete layers each expose their own typed forward() — there is
+// deliberately no virtual forward, since signatures differ (C++ Core
+// Guidelines C.10: prefer concrete types).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+#include "util/serialize.hpp"
+
+namespace saga::nn {
+
+class Module {
+ public:
+  virtual ~Module() = default;
+
+  /// All trainable parameters of this module and its children.
+  std::vector<Tensor> parameters() const;
+
+  /// Total scalar parameter count.
+  std::int64_t num_parameters() const;
+
+  /// Flattened name -> values map of every parameter.
+  util::NamedBlobs state_dict() const;
+
+  /// Loads values into existing parameters; throws on missing names or size
+  /// mismatches (strict, like torch's load_state_dict(strict=True)).
+  void load_state_dict(const util::NamedBlobs& blobs);
+
+  /// Zeroes gradients of all parameters.
+  void zero_grad();
+
+  /// Training-mode flag (controls dropout); propagates to children.
+  void set_training(bool training);
+  bool training() const noexcept { return training_; }
+
+ protected:
+  Module() = default;
+
+  /// Registers a parameter; `tensor` must require grad.
+  Tensor& register_parameter(std::string name, Tensor tensor);
+  /// Registers a child; returns the typed pointer for convenience.
+  template <typename M>
+  std::shared_ptr<M> register_module(std::string name, std::shared_ptr<M> child) {
+    children_.emplace_back(std::move(name), child);
+    return child;
+  }
+
+ private:
+  void collect(const std::string& prefix, util::NamedBlobs& out) const;
+  void assign(const std::string& prefix, const util::NamedBlobs& blobs);
+  void collect_params(std::vector<Tensor>& out) const;
+
+  std::vector<std::pair<std::string, Tensor>> params_;
+  std::vector<std::pair<std::string, std::shared_ptr<Module>>> children_;
+  bool training_ = true;
+};
+
+}  // namespace saga::nn

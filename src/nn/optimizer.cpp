@@ -1,0 +1,86 @@
+#include "nn/optimizer.hpp"
+
+#include <cmath>
+
+namespace saga::nn {
+
+void Optimizer::zero_grad() {
+  for (auto& p : params_) p.zero_grad();
+}
+
+double Optimizer::clip_grad_norm(double max_norm) {
+  double total_sq = 0.0;
+  for (auto& p : params_) {
+    if (!p.has_grad()) continue;
+    for (const float g : p.grad()) total_sq += double(g) * g;
+  }
+  const double norm = std::sqrt(total_sq);
+  if (norm > max_norm && norm > 0.0) {
+    const auto scale_factor = static_cast<float>(max_norm / norm);
+    for (auto& p : params_) {
+      if (!p.has_grad()) continue;
+      for (auto& g : p.grad()) g *= scale_factor;
+    }
+  }
+  return norm;
+}
+
+SGD::SGD(std::vector<Tensor> params, double lr, double momentum)
+    : Optimizer(std::move(params)), lr_(lr), momentum_(momentum) {
+  velocity_.resize(params_.size());
+}
+
+void SGD::step() {
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    auto& p = params_[i];
+    if (!p.has_grad()) continue;
+    auto data = p.data();
+    auto grad = p.grad();
+    if (momentum_ != 0.0) {
+      auto& vel = velocity_[i];
+      if (vel.size() != data.size()) vel.assign(data.size(), 0.0F);
+      for (std::size_t j = 0; j < data.size(); ++j) {
+        vel[j] = static_cast<float>(momentum_ * vel[j] + grad[j]);
+        data[j] -= static_cast<float>(lr_) * vel[j];
+      }
+    } else {
+      for (std::size_t j = 0; j < data.size(); ++j) {
+        data[j] -= static_cast<float>(lr_) * grad[j];
+      }
+    }
+  }
+}
+
+Adam::Adam(std::vector<Tensor> params, Options options)
+    : Optimizer(std::move(params)), options_(options) {
+  m_.resize(params_.size());
+  v_.resize(params_.size());
+}
+
+void Adam::step() {
+  ++t_;
+  const double bc1 = 1.0 - std::pow(options_.beta1, static_cast<double>(t_));
+  const double bc2 = 1.0 - std::pow(options_.beta2, static_cast<double>(t_));
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    auto& p = params_[i];
+    if (!p.has_grad()) continue;
+    auto data = p.data();
+    auto grad = p.grad();
+    auto& m = m_[i];
+    auto& v = v_[i];
+    if (m.size() != data.size()) m.assign(data.size(), 0.0F);
+    if (v.size() != data.size()) v.assign(data.size(), 0.0F);
+    for (std::size_t j = 0; j < data.size(); ++j) {
+      double g = grad[j];
+      if (options_.weight_decay != 0.0) g += options_.weight_decay * data[j];
+      m[j] = static_cast<float>(options_.beta1 * m[j] + (1.0 - options_.beta1) * g);
+      v[j] = static_cast<float>(options_.beta2 * v[j] + (1.0 - options_.beta2) * g * g);
+      const double m_hat = m[j] / bc1;
+      const double v_hat = v[j] / bc2;
+      data[j] -= static_cast<float>(options_.lr * m_hat /
+                                    (std::sqrt(v_hat) + options_.eps));
+    }
+  }
+}
+
+}  // namespace saga::nn

@@ -1,0 +1,32 @@
+#include "nn/transformer.hpp"
+
+#include "tensor/ops.hpp"
+
+namespace saga::nn {
+
+TransformerBlock::TransformerBlock(const TransformerConfig& config,
+                                   util::Rng& rng, std::uint64_t seed) {
+  util::SeedSplitter seeds(seed);
+  attn_ = register_module(
+      "attn", std::make_shared<MultiHeadSelfAttention>(
+                  config.dim, config.num_heads, config.dropout, rng, seeds.next()));
+  norm1_ = register_module("norm1", std::make_shared<LayerNorm>(config.dim));
+  norm2_ = register_module("norm2", std::make_shared<LayerNorm>(config.dim));
+  ff1_ = register_module("ff1",
+                         std::make_shared<Linear>(config.dim, config.ff_dim, rng));
+  ff2_ = register_module("ff2",
+                         std::make_shared<Linear>(config.ff_dim, config.dim, rng));
+  dropout1_ = register_module("dropout1",
+                              std::make_shared<Dropout>(config.dropout, seeds.next()));
+  dropout2_ = register_module("dropout2",
+                              std::make_shared<Dropout>(config.dropout, seeds.next()));
+}
+
+Tensor TransformerBlock::forward(const Tensor& x) {
+  Tensor attn_out = dropout1_->forward(attn_->forward(x));
+  Tensor h = norm1_->forward(add(x, attn_out));
+  Tensor ff = ff2_->forward(gelu(ff1_->forward(h)));
+  return norm2_->forward(add(h, dropout2_->forward(ff)));
+}
+
+}  // namespace saga::nn

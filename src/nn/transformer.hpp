@@ -1,0 +1,39 @@
+// Transformer encoder block (pre-LN style is NOT used: LIMU-BERT keeps the
+// original post-LN BERT block, which we follow).
+#pragma once
+
+#include <memory>
+
+#include "nn/attention.hpp"
+#include "nn/layers.hpp"
+#include "nn/linear.hpp"
+#include "nn/module.hpp"
+
+namespace saga::nn {
+
+struct TransformerConfig {
+  std::int64_t dim = 72;        // hidden size (paper §VII-A1)
+  std::int64_t num_heads = 4;
+  std::int64_t ff_dim = 144;    // position-wise feed-forward inner size
+  double dropout = 0.1;
+};
+
+/// One post-LN encoder block: x = LN(x + Attn(x)); x = LN(x + FFN(x)).
+class TransformerBlock : public Module {
+ public:
+  TransformerBlock(const TransformerConfig& config, util::Rng& rng,
+                   std::uint64_t seed);
+
+  Tensor forward(const Tensor& x);
+
+ private:
+  std::shared_ptr<MultiHeadSelfAttention> attn_;
+  std::shared_ptr<LayerNorm> norm1_;
+  std::shared_ptr<LayerNorm> norm2_;
+  std::shared_ptr<Linear> ff1_;
+  std::shared_ptr<Linear> ff2_;
+  std::shared_ptr<Dropout> dropout1_;
+  std::shared_ptr<Dropout> dropout2_;
+};
+
+}  // namespace saga::nn

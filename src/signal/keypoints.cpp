@@ -1,0 +1,97 @@
+#include "signal/keypoints.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace saga::signal {
+
+std::vector<double> energy_series(std::span<const float> window,
+                                  std::int64_t length, std::int64_t channels,
+                                  std::int64_t acc_axes) {
+  if (static_cast<std::int64_t>(window.size()) != length * channels) {
+    throw std::invalid_argument("energy_series: size mismatch");
+  }
+  if (acc_axes > channels) {
+    throw std::invalid_argument("energy_series: acc_axes > channels");
+  }
+  std::vector<double> energy(static_cast<std::size_t>(length), 0.0);
+  for (std::int64_t t = 0; t < length; ++t) {
+    const float* row = window.data() + t * channels;
+    double acc = 0.0;
+    for (std::int64_t a = 0; a < acc_axes; ++a) acc += double(row[a]) * row[a];
+    energy[static_cast<std::size_t>(t)] = acc;
+  }
+  return energy;
+}
+
+namespace {
+
+enum class Kind { kPeak, kValley };
+
+std::vector<std::int64_t> filtered_extrema(const std::vector<double>& e,
+                                           Kind kind,
+                                           const KeyPointOptions& options) {
+  const auto n = static_cast<std::int64_t>(e.size());
+  auto dominates = [&](double a, double b) {
+    return kind == Kind::kPeak ? a >= b : a <= b;
+  };
+
+  std::vector<std::int64_t> kept;
+  std::int64_t last_kept = -(options.min_distance + 1);
+  for (std::int64_t i = 1; i + 1 < n; ++i) {
+    const auto iu = static_cast<std::size_t>(i);
+    // Raw extremum (paper's e_pc / e_vc sets).
+    if (!dominates(e[iu], e[iu - 1]) || !dominates(e[iu], e[iu + 1])) continue;
+    // Eq. 1: dominance within +/- w.
+    bool dominant = true;
+    const std::int64_t lo = std::max<std::int64_t>(0, i - options.dominance_window);
+    const std::int64_t hi = std::min(n - 1, i + options.dominance_window);
+    for (std::int64_t j = lo; j <= hi && dominant; ++j) {
+      dominant = dominates(e[iu], e[static_cast<std::size_t>(j)]);
+    }
+    if (!dominant) continue;
+    // Eq. 2: minimum spacing between kept points.
+    if (i - last_kept < options.min_distance) continue;
+    kept.push_back(i);
+    last_kept = i;
+  }
+  return kept;
+}
+
+}  // namespace
+
+std::vector<std::int64_t> KeyPoints::merged() const {
+  std::vector<std::int64_t> all;
+  all.reserve(peaks.size() + valleys.size());
+  all.insert(all.end(), peaks.begin(), peaks.end());
+  all.insert(all.end(), valleys.begin(), valleys.end());
+  std::sort(all.begin(), all.end());
+  all.erase(std::unique(all.begin(), all.end()), all.end());
+  return all;
+}
+
+KeyPoints find_key_points(const std::vector<double>& energy,
+                          const KeyPointOptions& options) {
+  if (options.dominance_window < 1 || options.min_distance < 1) {
+    throw std::invalid_argument("find_key_points: bad options");
+  }
+  KeyPoints result;
+  result.peaks = filtered_extrema(energy, Kind::kPeak, options);
+  result.valleys = filtered_extrema(energy, Kind::kValley, options);
+  return result;
+}
+
+std::vector<std::pair<std::int64_t, std::int64_t>> sub_periods(
+    const KeyPoints& key_points, std::int64_t length) {
+  std::vector<std::pair<std::int64_t, std::int64_t>> ranges;
+  std::int64_t begin = 0;
+  for (const std::int64_t kp : key_points.merged()) {
+    if (kp <= begin || kp >= length) continue;
+    ranges.emplace_back(begin, kp);
+    begin = kp;
+  }
+  if (begin < length) ranges.emplace_back(begin, length);
+  return ranges;
+}
+
+}  // namespace saga::signal

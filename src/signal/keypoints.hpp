@@ -1,0 +1,44 @@
+// IMU data preprocessing (paper §IV-A): acceleration energy, filtered
+// peak/valley key points (Eqs. 1-2), and sub-period partitioning.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace saga::signal {
+
+/// Energy series e_i = sum over acceleration axes of a_{i,axis}^2
+/// (paper §IV-A1). `window` is [length * channels] row-major (time-major);
+/// the first `acc_axes` channels are the accelerometer.
+std::vector<double> energy_series(std::span<const float> window,
+                                  std::int64_t length, std::int64_t channels,
+                                  std::int64_t acc_axes = 3);
+
+struct KeyPointOptions {
+  /// Eq. 1: a point must be the extremum within +/- `dominance_window`.
+  std::int64_t dominance_window = 3;
+  /// Eq. 2: two kept key points must be at least `min_distance` apart.
+  std::int64_t min_distance = 5;
+};
+
+struct KeyPoints {
+  std::vector<std::int64_t> peaks;    // filtered local maxima (e_p)
+  std::vector<std::int64_t> valleys;  // filtered local minima (e_v)
+
+  /// Peaks and valleys merged in time order.
+  std::vector<std::int64_t> merged() const;
+};
+
+/// Finds filtered peaks/valleys of an energy series per paper Eqs. 1-2:
+/// raw extrema are kept only when they dominate their +/-w neighbourhood and
+/// are at least d samples from the previously kept point of the same kind.
+KeyPoints find_key_points(const std::vector<double>& energy,
+                          const KeyPointOptions& options = {});
+
+/// Half-open [begin, end) index ranges partitioning [0, length) at the merged
+/// key points (paper §IV-D: sub-periods between consecutive key points).
+std::vector<std::pair<std::int64_t, std::int64_t>> sub_periods(
+    const KeyPoints& key_points, std::int64_t length);
+
+}  // namespace saga::signal

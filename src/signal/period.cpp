@@ -1,0 +1,51 @@
+#include "signal/period.hpp"
+
+#include <cmath>
+#include <numeric>
+
+#include "signal/fft.hpp"
+
+namespace saga::signal {
+
+MainPeriod find_main_period(const std::vector<double>& energy,
+                            const PeriodOptions& options) {
+  MainPeriod result;
+  const auto length = static_cast<std::int64_t>(energy.size());
+  if (length < 2 * options.min_period) return result;
+
+  // Remove the mean: the DC component otherwise dominates the spectrum of a
+  // strictly positive energy series.
+  const double mean =
+      std::accumulate(energy.begin(), energy.end(), 0.0) / double(length);
+  std::vector<double> centered(energy.size());
+  for (std::size_t i = 0; i < energy.size(); ++i) centered[i] = energy[i] - mean;
+
+  const auto amplitude = amplitude_spectrum(centered);
+  const auto n_fft = static_cast<double>(next_pow2(energy.size()));
+
+  // Admissible bin range: period = n_fft / k must satisfy
+  // min_period <= period <= length / min_cycles.
+  const double max_period =
+      static_cast<double>(length) / static_cast<double>(options.min_cycles);
+  double best_amp = 0.0;
+  std::size_t best_bin = 0;
+  for (std::size_t k = 1; k < amplitude.size(); ++k) {
+    const double period = n_fft / static_cast<double>(k);
+    if (period > max_period || period < static_cast<double>(options.min_period)) {
+      continue;
+    }
+    if (amplitude[k] > best_amp) {
+      best_amp = amplitude[k];
+      best_bin = k;
+    }
+  }
+  if (best_bin == 0) return result;
+
+  result.bin = best_bin;
+  result.amplitude = best_amp;
+  result.period = static_cast<std::int64_t>(
+      std::llround(n_fft / static_cast<double>(best_bin)));
+  return result;
+}
+
+}  // namespace saga::signal

@@ -1,0 +1,34 @@
+// Main-period identification via the FFT of the energy series
+// (paper §IV-A2 and Fig. 5): T_main = 1 / f_max, with f_max the frequency of
+// the maximum-amplitude bin.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace saga::signal {
+
+struct MainPeriod {
+  /// Dominant period in samples (0 when no periodicity is detected).
+  std::int64_t period = 0;
+  /// Index of the winning FFT bin (in the padded spectrum).
+  std::size_t bin = 0;
+  /// Amplitude of the winning bin.
+  double amplitude = 0.0;
+};
+
+struct PeriodOptions {
+  /// Periods longer than length / min_cycles are ignored: at least this many
+  /// full cycles must fit in the window for the periodicity to be trusted.
+  std::int64_t min_cycles = 2;
+  /// Shortest admissible period in samples.
+  std::int64_t min_period = 4;
+};
+
+/// Finds the main period of an energy series. The DC bin is excluded; the
+/// mean is removed before the transform so low-frequency leakage does not
+/// mask the true cadence.
+MainPeriod find_main_period(const std::vector<double>& energy,
+                            const PeriodOptions& options = {});
+
+}  // namespace saga::signal

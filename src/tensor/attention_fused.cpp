@@ -1,0 +1,149 @@
+#include "tensor/attention_fused.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/thread_pool.hpp"
+
+namespace saga {
+
+namespace {
+
+// Strided head view: element (t, c) of head h in a [B, T, D] tensor.
+inline std::int64_t offset(std::int64_t b, std::int64_t t, std::int64_t c,
+                           std::int64_t seq, std::int64_t dim) {
+  return (b * seq + t) * dim + c;
+}
+
+}  // namespace
+
+Tensor fused_multi_head_attention(const Tensor& q, const Tensor& k,
+                                  const Tensor& v, std::int64_t num_heads) {
+  if (q.dim() != 3 || k.shape() != q.shape() || v.shape() != q.shape()) {
+    throw std::invalid_argument("fused_attention: q/k/v must share [B,T,D]");
+  }
+  const std::int64_t batch = q.size(0);
+  const std::int64_t seq = q.size(1);
+  const std::int64_t dim = q.size(2);
+  if (dim % num_heads != 0) {
+    throw std::invalid_argument("fused_attention: D % heads != 0");
+  }
+  const std::int64_t head_dim = dim / num_heads;
+  const float inv_sqrt_d = 1.0F / std::sqrt(static_cast<float>(head_dim));
+
+  const float* qd = q.data().data();
+  const float* kd = k.data().data();
+  const float* vd = v.data().data();
+
+  std::vector<float> out(static_cast<std::size_t>(batch * seq * dim), 0.0F);
+  // Softmax probabilities saved for backward: [B, H, T, T].
+  auto probs = std::make_shared<std::vector<float>>(
+      static_cast<std::size_t>(batch * num_heads * seq * seq));
+
+  const std::int64_t pairs = batch * num_heads;
+  util::parallel_for(0, static_cast<std::size_t>(pairs), [&](std::size_t pair) {
+    const std::int64_t b = static_cast<std::int64_t>(pair) / num_heads;
+    const std::int64_t h = static_cast<std::int64_t>(pair) % num_heads;
+    const std::int64_t c0 = h * head_dim;  // head channel offset
+    float* prow_base = probs->data() + pair * seq * seq;
+
+    for (std::int64_t i = 0; i < seq; ++i) {
+      float* prow = prow_base + i * seq;
+      const float* qi = qd + offset(b, i, c0, seq, dim);
+      // Scores + running max for a stable softmax.
+      float max_v = -1e30F;
+      for (std::int64_t j = 0; j < seq; ++j) {
+        const float* kj = kd + offset(b, j, c0, seq, dim);
+        float acc = 0.0F;
+        for (std::int64_t c = 0; c < head_dim; ++c) acc += qi[c] * kj[c];
+        acc *= inv_sqrt_d;
+        prow[j] = acc;
+        max_v = std::max(max_v, acc);
+      }
+      float denom = 0.0F;
+      for (std::int64_t j = 0; j < seq; ++j) {
+        prow[j] = std::exp(prow[j] - max_v);
+        denom += prow[j];
+      }
+      const float inv_denom = 1.0F / denom;
+      for (std::int64_t j = 0; j < seq; ++j) prow[j] *= inv_denom;
+      // Context: out_i = sum_j p_ij v_j.
+      float* oi = out.data() + offset(b, i, c0, seq, dim);
+      for (std::int64_t j = 0; j < seq; ++j) {
+        const float p = prow[j];
+        const float* vj = vd + offset(b, j, c0, seq, dim);
+        for (std::int64_t c = 0; c < head_dim; ++c) oi[c] += p * vj[c];
+      }
+    }
+  });
+
+  auto q_impl = q.impl();
+  auto k_impl = k.impl();
+  auto v_impl = v.impl();
+  return detail::make_op_output(
+      q.shape(), std::move(out), {q, k, v}, "fused_attention",
+      [q_impl, k_impl, v_impl, probs, batch, seq, dim, num_heads, head_dim,
+       inv_sqrt_d](const TensorImpl& o) {
+        const bool need_q = detail::wants_grad(*q_impl);
+        const bool need_k = detail::wants_grad(*k_impl);
+        const bool need_v = detail::wants_grad(*v_impl);
+        if (!need_q && !need_k && !need_v) return;
+        float* gq = need_q ? q_impl->grad_buffer().data() : nullptr;
+        float* gk = need_k ? k_impl->grad_buffer().data() : nullptr;
+        float* gv = need_v ? v_impl->grad_buffer().data() : nullptr;
+        const float* qb = q_impl->data.data();
+        const float* kb = k_impl->data.data();
+        const float* vb = v_impl->data.data();
+        const float* go = o.grad.data();
+
+        // Parallel over (b, h): every pair touches disjoint channel ranges of
+        // the gradients, so no synchronization is needed.
+        const std::int64_t bwd_pairs = batch * num_heads;
+        util::parallel_for(0, static_cast<std::size_t>(bwd_pairs), [&](std::size_t pair) {
+          const std::int64_t b = static_cast<std::int64_t>(pair) / num_heads;
+          const std::int64_t h = static_cast<std::int64_t>(pair) % num_heads;
+          const std::int64_t c0 = h * head_dim;
+          const float* prow_base = probs->data() + pair * seq * seq;
+          std::vector<float> dp(static_cast<std::size_t>(seq));
+
+          for (std::int64_t i = 0; i < seq; ++i) {
+            const float* prow = prow_base + i * seq;
+            const float* goi = go + offset(b, i, c0, seq, dim);
+
+            // dV_j += p_ij * dOut_i and dp_j = dOut_i . v_j.
+            float dot_dp_p = 0.0F;
+            for (std::int64_t j = 0; j < seq; ++j) {
+              const float* vj = vb + offset(b, j, c0, seq, dim);
+              float acc = 0.0F;
+              for (std::int64_t c = 0; c < head_dim; ++c) acc += goi[c] * vj[c];
+              dp[static_cast<std::size_t>(j)] = acc;
+              dot_dp_p += acc * prow[j];
+              if (gv != nullptr) {
+                float* gvj = gv + offset(b, j, c0, seq, dim);
+                const float p = prow[j];
+                for (std::int64_t c = 0; c < head_dim; ++c) gvj[c] += p * goi[c];
+              }
+            }
+            if (gq == nullptr && gk == nullptr) continue;
+            // Softmax backward + score backward.
+            const float* qi = qb + offset(b, i, c0, seq, dim);
+            float* gqi = gq != nullptr ? gq + offset(b, i, c0, seq, dim) : nullptr;
+            for (std::int64_t j = 0; j < seq; ++j) {
+              const float ds =
+                  prow[j] * (dp[static_cast<std::size_t>(j)] - dot_dp_p) *
+                  inv_sqrt_d;
+              const float* kj = kb + offset(b, j, c0, seq, dim);
+              if (gqi != nullptr) {
+                for (std::int64_t c = 0; c < head_dim; ++c) gqi[c] += ds * kj[c];
+              }
+              if (gk != nullptr) {
+                float* gkj = gk + offset(b, j, c0, seq, dim);
+                for (std::int64_t c = 0; c < head_dim; ++c) gkj[c] += ds * qi[c];
+              }
+            }
+          }
+        });
+      });
+}
+
+}  // namespace saga

@@ -1,0 +1,23 @@
+// Fused scaled-dot-product multi-head self-attention.
+//
+// Computing attention from primitive ops materializes five T x T tensors per
+// head (scores, scaled scores, softmax, dropout mask, weighted sum), which
+// dominates CPU time for T = 120. This fused op walks the heads in one pass,
+// stores only the softmax probabilities for backward, and parallelizes over
+// (batch x head) pairs.
+//
+// Attention-probability dropout is intentionally not applied inside the op
+// (the backbone keeps dropout on hidden states only); this matches common
+// lightweight-BERT configurations and keeps the saved state minimal.
+#pragma once
+
+#include "tensor/tensor.hpp"
+
+namespace saga {
+
+/// q, k, v: [B, T, D] with D divisible by `num_heads`. Returns [B, T, D]
+/// where each head h attends with softmax(Q_h K_h^T / sqrt(D/H)) V_h.
+Tensor fused_multi_head_attention(const Tensor& q, const Tensor& k,
+                                  const Tensor& v, std::int64_t num_heads);
+
+}  // namespace saga

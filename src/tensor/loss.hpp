@@ -1,0 +1,25 @@
+// Loss functions with fused backward passes.
+#pragma once
+
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace saga {
+
+/// Masked mean-squared error (paper §V-A): sum(mask * (pred - target)^2) /
+/// sum(mask). `mask` is a {0,1} tensor of the same shape; gradient flows to
+/// `pred` only. Returns 0 when the mask is empty.
+Tensor mse_masked(const Tensor& pred, const Tensor& target, const Tensor& mask);
+
+/// Plain mean-squared error over all elements.
+Tensor mse(const Tensor& pred, const Tensor& target);
+
+/// Mean cross-entropy of logits [N, C] against integer labels (paper Eq. 8).
+Tensor cross_entropy(const Tensor& logits, const std::vector<std::int64_t>& labels);
+
+/// NT-Xent contrastive loss over an embedding batch [2N, D] where rows i and
+/// i+N are positive pairs (SimCLR; used by the CL-HAR baseline).
+Tensor nt_xent(const Tensor& embeddings, float temperature);
+
+}  // namespace saga

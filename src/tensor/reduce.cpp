@@ -1,0 +1,242 @@
+#include "tensor/reduce.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace saga {
+
+Tensor sum(const Tensor& a) {
+  double acc = 0.0;
+  for (const float v : a.data()) acc += v;
+  auto a_impl = a.impl();
+  return detail::make_op_output(
+      {1}, {static_cast<float>(acc)}, {a}, "sum", [a_impl](const TensorImpl& o) {
+        if (!detail::wants_grad(*a_impl)) return;
+        float* ga = a_impl->grad_buffer().data();
+        const float g = o.grad[0];
+        for (std::size_t i = 0; i < a_impl->data.size(); ++i) ga[i] += g;
+      });
+}
+
+Tensor mean(const Tensor& a) {
+  const auto n = static_cast<double>(a.numel());
+  double acc = 0.0;
+  for (const float v : a.data()) acc += v;
+  auto a_impl = a.impl();
+  return detail::make_op_output(
+      {1}, {static_cast<float>(acc / n)}, {a}, "mean",
+      [a_impl, n](const TensorImpl& o) {
+        if (!detail::wants_grad(*a_impl)) return;
+        float* ga = a_impl->grad_buffer().data();
+        const float g = static_cast<float>(o.grad[0] / n);
+        for (std::size_t i = 0; i < a_impl->data.size(); ++i) ga[i] += g;
+      });
+}
+
+Tensor softmax_lastdim(const Tensor& a) {
+  const std::int64_t cols = a.size(-1);
+  const std::int64_t rows = a.numel() / cols;
+  std::vector<float> out(static_cast<std::size_t>(a.numel()));
+  const float* src = a.data().data();
+  for (std::int64_t r = 0; r < rows; ++r) {
+    const float* x = src + r * cols;
+    float* y = out.data() + r * cols;
+    float max_v = x[0];
+    for (std::int64_t c = 1; c < cols; ++c) max_v = std::max(max_v, x[c]);
+    double denom = 0.0;
+    for (std::int64_t c = 0; c < cols; ++c) {
+      y[c] = std::exp(x[c] - max_v);
+      denom += y[c];
+    }
+    const float inv = static_cast<float>(1.0 / denom);
+    for (std::int64_t c = 0; c < cols; ++c) y[c] *= inv;
+  }
+  auto a_impl = a.impl();
+  return detail::make_op_output(
+      a.shape(), std::move(out), {a}, "softmax",
+      [a_impl, rows, cols](const TensorImpl& o) {
+        if (!detail::wants_grad(*a_impl)) return;
+        float* ga = a_impl->grad_buffer().data();
+        const float* y = o.data.data();
+        const float* go = o.grad.data();
+        for (std::int64_t r = 0; r < rows; ++r) {
+          const float* yr = y + r * cols;
+          const float* gr = go + r * cols;
+          float* gar = ga + r * cols;
+          double dot = 0.0;
+          for (std::int64_t c = 0; c < cols; ++c) dot += double(yr[c]) * gr[c];
+          for (std::int64_t c = 0; c < cols; ++c) {
+            gar[c] += yr[c] * (gr[c] - static_cast<float>(dot));
+          }
+        }
+      });
+}
+
+Tensor log_softmax_lastdim(const Tensor& a) {
+  const std::int64_t cols = a.size(-1);
+  const std::int64_t rows = a.numel() / cols;
+  std::vector<float> out(static_cast<std::size_t>(a.numel()));
+  const float* src = a.data().data();
+  for (std::int64_t r = 0; r < rows; ++r) {
+    const float* x = src + r * cols;
+    float* y = out.data() + r * cols;
+    float max_v = x[0];
+    for (std::int64_t c = 1; c < cols; ++c) max_v = std::max(max_v, x[c]);
+    double denom = 0.0;
+    for (std::int64_t c = 0; c < cols; ++c) denom += std::exp(x[c] - max_v);
+    const float lse = max_v + static_cast<float>(std::log(denom));
+    for (std::int64_t c = 0; c < cols; ++c) y[c] = x[c] - lse;
+  }
+  auto a_impl = a.impl();
+  return detail::make_op_output(
+      a.shape(), std::move(out), {a}, "log_softmax",
+      [a_impl, rows, cols](const TensorImpl& o) {
+        if (!detail::wants_grad(*a_impl)) return;
+        float* ga = a_impl->grad_buffer().data();
+        const float* y = o.data.data();
+        const float* go = o.grad.data();
+        for (std::int64_t r = 0; r < rows; ++r) {
+          const float* yr = y + r * cols;
+          const float* gr = go + r * cols;
+          float* gar = ga + r * cols;
+          double gsum = 0.0;
+          for (std::int64_t c = 0; c < cols; ++c) gsum += gr[c];
+          for (std::int64_t c = 0; c < cols; ++c) {
+            gar[c] += gr[c] - std::exp(yr[c]) * static_cast<float>(gsum);
+          }
+        }
+      });
+}
+
+Tensor layer_norm_lastdim(const Tensor& x, const Tensor& gamma,
+                          const Tensor& beta, float eps) {
+  const std::int64_t cols = x.size(-1);
+  const std::int64_t rows = x.numel() / cols;
+  if (gamma.numel() != cols || beta.numel() != cols) {
+    throw std::invalid_argument("layer_norm: gamma/beta must be [D]");
+  }
+  std::vector<float> out(static_cast<std::size_t>(x.numel()));
+  std::vector<float> xhat(static_cast<std::size_t>(x.numel()));
+  std::vector<float> inv_std(static_cast<std::size_t>(rows));
+  const float* xd = x.data().data();
+  const float* gd = gamma.data().data();
+  const float* bd = beta.data().data();
+  for (std::int64_t r = 0; r < rows; ++r) {
+    const float* row = xd + r * cols;
+    double mu = 0.0;
+    for (std::int64_t c = 0; c < cols; ++c) mu += row[c];
+    mu /= static_cast<double>(cols);
+    double var = 0.0;
+    for (std::int64_t c = 0; c < cols; ++c) {
+      const double d = row[c] - mu;
+      var += d * d;
+    }
+    var /= static_cast<double>(cols);
+    const float istd = static_cast<float>(1.0 / std::sqrt(var + eps));
+    inv_std[static_cast<std::size_t>(r)] = istd;
+    float* xh = xhat.data() + r * cols;
+    float* y = out.data() + r * cols;
+    for (std::int64_t c = 0; c < cols; ++c) {
+      xh[c] = (row[c] - static_cast<float>(mu)) * istd;
+      y[c] = gd[c] * xh[c] + bd[c];
+    }
+  }
+
+  auto x_impl = x.impl();
+  auto g_impl = gamma.impl();
+  auto b_impl = beta.impl();
+  return detail::make_op_output(
+      x.shape(), std::move(out), {x, gamma, beta}, "layer_norm",
+      [x_impl, g_impl, b_impl, rows, cols, xhat = std::move(xhat),
+       inv_std = std::move(inv_std)](const TensorImpl& o) {
+        const float* go = o.grad.data();
+        const float* gamma_d = g_impl->data.data();
+        const bool need_x = detail::wants_grad(*x_impl);
+        const bool need_g = detail::wants_grad(*g_impl);
+        const bool need_b = detail::wants_grad(*b_impl);
+        float* gx = need_x ? x_impl->grad_buffer().data() : nullptr;
+        float* gg = need_g ? g_impl->grad_buffer().data() : nullptr;
+        float* gb = need_b ? b_impl->grad_buffer().data() : nullptr;
+        for (std::int64_t r = 0; r < rows; ++r) {
+          const float* gr = go + r * cols;
+          const float* xh = xhat.data() + r * cols;
+          const float istd = inv_std[static_cast<std::size_t>(r)];
+          if (need_g || need_b) {
+            for (std::int64_t c = 0; c < cols; ++c) {
+              if (gg != nullptr) gg[c] += gr[c] * xh[c];
+              if (gb != nullptr) gb[c] += gr[c];
+            }
+          }
+          if (need_x) {
+            // dx = istd * (h - mean(h) - xhat * mean(h * xhat)),
+            // with h = gamma * dy.
+            double mean_h = 0.0;
+            double mean_hx = 0.0;
+            for (std::int64_t c = 0; c < cols; ++c) {
+              const double h = double(gamma_d[c]) * gr[c];
+              mean_h += h;
+              mean_hx += h * xh[c];
+            }
+            mean_h /= static_cast<double>(cols);
+            mean_hx /= static_cast<double>(cols);
+            float* gxr = gx + r * cols;
+            for (std::int64_t c = 0; c < cols; ++c) {
+              const double h = double(gamma_d[c]) * gr[c];
+              gxr[c] += static_cast<float>(istd * (h - mean_h - xh[c] * mean_hx));
+            }
+          }
+        }
+      });
+}
+
+Tensor mean_over_time(const Tensor& x) {
+  if (x.dim() != 3) throw std::invalid_argument("mean_over_time: expects [B,T,D]");
+  const std::int64_t b = x.size(0);
+  const std::int64_t t = x.size(1);
+  const std::int64_t d = x.size(2);
+  std::vector<float> out(static_cast<std::size_t>(b * d), 0.0F);
+  const float* xd = x.data().data();
+  for (std::int64_t i = 0; i < b; ++i) {
+    for (std::int64_t s = 0; s < t; ++s) {
+      const float* row = xd + (i * t + s) * d;
+      float* orow = out.data() + i * d;
+      for (std::int64_t c = 0; c < d; ++c) orow[c] += row[c];
+    }
+  }
+  const float inv = 1.0F / static_cast<float>(t);
+  for (auto& v : out) v *= inv;
+
+  auto x_impl = x.impl();
+  return detail::make_op_output(
+      {b, d}, std::move(out), {x}, "mean_over_time",
+      [x_impl, b, t, d, inv](const TensorImpl& o) {
+        if (!detail::wants_grad(*x_impl)) return;
+        float* gx = x_impl->grad_buffer().data();
+        const float* go = o.grad.data();
+        for (std::int64_t i = 0; i < b; ++i) {
+          const float* grow = go + i * d;
+          for (std::int64_t s = 0; s < t; ++s) {
+            float* gxr = gx + (i * t + s) * d;
+            for (std::int64_t c = 0; c < d; ++c) gxr[c] += grow[c] * inv;
+          }
+        }
+      });
+}
+
+std::vector<std::int64_t> argmax_lastdim(const Tensor& a) {
+  const std::int64_t cols = a.size(-1);
+  const std::int64_t rows = a.numel() / cols;
+  std::vector<std::int64_t> out(static_cast<std::size_t>(rows));
+  const float* src = a.data().data();
+  for (std::int64_t r = 0; r < rows; ++r) {
+    const float* row = src + r * cols;
+    std::int64_t best = 0;
+    for (std::int64_t c = 1; c < cols; ++c) {
+      if (row[c] > row[best]) best = c;
+    }
+    out[static_cast<std::size_t>(r)] = best;
+  }
+  return out;
+}
+
+}  // namespace saga

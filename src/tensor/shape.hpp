@@ -1,0 +1,60 @@
+// Shape utilities shared across the tensor library.
+#pragma once
+
+#include <cstdint>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace saga {
+
+/// Dimension sizes, outermost first (row-major storage).
+using Shape = std::vector<std::int64_t>;
+
+/// Total element count of a shape (1 for rank-0 scalars).
+inline std::int64_t numel_of(const Shape& shape) {
+  std::int64_t n = 1;
+  for (const std::int64_t d : shape) {
+    if (d < 0) throw std::invalid_argument("shape: negative dimension");
+    n *= d;
+  }
+  return n;
+}
+
+/// Row-major strides for a shape.
+inline std::vector<std::int64_t> strides_of(const Shape& shape) {
+  std::vector<std::int64_t> strides(shape.size(), 1);
+  for (std::int64_t i = static_cast<std::int64_t>(shape.size()) - 2; i >= 0; --i) {
+    strides[i] = strides[i + 1] * shape[i + 1];
+  }
+  return strides;
+}
+
+/// Human-readable shape, e.g. "[2, 120, 6]".
+inline std::string shape_str(const Shape& shape) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < shape.size(); ++i) {
+    if (i != 0) out += ", ";
+    out += std::to_string(shape[i]);
+  }
+  return out + "]";
+}
+
+/// NumPy-style right-aligned broadcast of two shapes; throws on mismatch.
+inline Shape broadcast_shapes(const Shape& a, const Shape& b) {
+  const std::size_t rank = std::max(a.size(), b.size());
+  Shape out(rank, 1);
+  for (std::size_t i = 0; i < rank; ++i) {
+    const std::int64_t da = i < a.size() ? a[a.size() - 1 - i] : 1;
+    const std::int64_t db = i < b.size() ? b[b.size() - 1 - i] : 1;
+    if (da != db && da != 1 && db != 1) {
+      throw std::invalid_argument("broadcast: incompatible shapes " +
+                                  shape_str(a) + " vs " + shape_str(b));
+    }
+    out[rank - 1 - i] = std::max(da, db);
+  }
+  return out;
+}
+
+}  // namespace saga

@@ -1,0 +1,239 @@
+#include "tensor/shape_ops.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace saga {
+
+namespace {
+
+std::int64_t normalize_dim(std::int64_t dim, std::int64_t rank) {
+  if (dim < 0) dim += rank;
+  if (dim < 0 || dim >= rank) throw std::out_of_range("bad dim");
+  return dim;
+}
+
+// Copies the [start, start+length) range of `dim` from src (shape src_shape)
+// into dst laid out with that dim shrunk to `length`. When `scatter` is true
+// the direction is reversed (dst accumulates into src-range positions).
+struct SliceGeometry {
+  std::int64_t outer;   // product of dims before `dim`
+  std::int64_t mid_src; // src extent of `dim`
+  std::int64_t mid_dst; // dst extent of `dim`
+  std::int64_t inner;   // product of dims after `dim`
+};
+
+SliceGeometry slice_geometry(const Shape& src_shape, std::int64_t dim,
+                             std::int64_t length) {
+  SliceGeometry g{1, src_shape[static_cast<std::size_t>(dim)], length, 1};
+  for (std::int64_t d = 0; d < dim; ++d) g.outer *= src_shape[static_cast<std::size_t>(d)];
+  for (std::size_t d = static_cast<std::size_t>(dim) + 1; d < src_shape.size(); ++d) {
+    g.inner *= src_shape[d];
+  }
+  return g;
+}
+
+}  // namespace
+
+Tensor reshape(const Tensor& a, Shape new_shape) {
+  std::int64_t known = 1;
+  std::int64_t infer = -1;
+  for (std::size_t d = 0; d < new_shape.size(); ++d) {
+    if (new_shape[d] == -1) {
+      if (infer != -1) throw std::invalid_argument("reshape: two -1 dims");
+      infer = static_cast<std::int64_t>(d);
+    } else {
+      known *= new_shape[d];
+    }
+  }
+  if (infer >= 0) {
+    if (known == 0 || a.numel() % known != 0) {
+      throw std::invalid_argument("reshape: cannot infer dim");
+    }
+    new_shape[static_cast<std::size_t>(infer)] = a.numel() / known;
+  }
+  if (numel_of(new_shape) != a.numel()) {
+    throw std::invalid_argument("reshape: element count mismatch " +
+                                shape_str(a.shape()) + " -> " +
+                                shape_str(new_shape));
+  }
+  std::vector<float> out(a.data().begin(), a.data().end());
+  auto a_impl = a.impl();
+  return detail::make_op_output(
+      std::move(new_shape), std::move(out), {a}, "reshape",
+      [a_impl](const TensorImpl& o) {
+        if (!detail::wants_grad(*a_impl)) return;
+        float* ga = a_impl->grad_buffer().data();
+        const float* go = o.grad.data();
+        for (std::size_t i = 0; i < o.data.size(); ++i) ga[i] += go[i];
+      });
+}
+
+Tensor slice(const Tensor& a, std::int64_t dim, std::int64_t start,
+             std::int64_t length) {
+  const std::int64_t rank = a.dim();
+  dim = normalize_dim(dim, rank);
+  const std::int64_t extent = a.size(dim);
+  if (start < 0 || length < 0 || start + length > extent) {
+    throw std::out_of_range("slice: range [" + std::to_string(start) + ", " +
+                            std::to_string(start + length) + ") out of dim " +
+                            std::to_string(extent));
+  }
+  Shape out_shape = a.shape();
+  out_shape[static_cast<std::size_t>(dim)] = length;
+  const SliceGeometry g = slice_geometry(a.shape(), dim, length);
+
+  std::vector<float> out(static_cast<std::size_t>(numel_of(out_shape)));
+  const float* src = a.data().data();
+  for (std::int64_t o = 0; o < g.outer; ++o) {
+    const float* src_block = src + (o * g.mid_src + start) * g.inner;
+    float* dst_block = out.data() + o * g.mid_dst * g.inner;
+    std::memcpy(dst_block, src_block,
+                static_cast<std::size_t>(g.mid_dst * g.inner) * sizeof(float));
+  }
+
+  auto a_impl = a.impl();
+  return detail::make_op_output(
+      std::move(out_shape), std::move(out), {a}, "slice",
+      [a_impl, g, start](const TensorImpl& o) {
+        if (!detail::wants_grad(*a_impl)) return;
+        float* ga = a_impl->grad_buffer().data();
+        const float* go = o.grad.data();
+        for (std::int64_t ob = 0; ob < g.outer; ++ob) {
+          float* dst_block = ga + (ob * g.mid_src + start) * g.inner;
+          const float* src_block = go + ob * g.mid_dst * g.inner;
+          const std::int64_t count = g.mid_dst * g.inner;
+          for (std::int64_t i = 0; i < count; ++i) dst_block[i] += src_block[i];
+        }
+      });
+}
+
+Tensor select(const Tensor& a, std::int64_t dim, std::int64_t index) {
+  const std::int64_t rank = a.dim();
+  dim = normalize_dim(dim, rank);
+  Tensor sliced = slice(a, dim, index, 1);
+  Shape squeezed = sliced.shape();
+  squeezed.erase(squeezed.begin() + static_cast<std::ptrdiff_t>(dim));
+  if (squeezed.empty()) squeezed = {1};
+  return reshape(sliced, std::move(squeezed));
+}
+
+Tensor concat(const std::vector<Tensor>& tensors, std::int64_t dim) {
+  if (tensors.empty()) throw std::invalid_argument("concat: empty input");
+  const std::int64_t rank = tensors.front().dim();
+  dim = normalize_dim(dim, rank);
+  Shape out_shape = tensors.front().shape();
+  std::int64_t total = 0;
+  for (const auto& t : tensors) {
+    if (t.dim() != rank) throw std::invalid_argument("concat: rank mismatch");
+    for (std::int64_t d = 0; d < rank; ++d) {
+      if (d != dim && t.size(d) != out_shape[static_cast<std::size_t>(d)]) {
+        throw std::invalid_argument("concat: shape mismatch");
+      }
+    }
+    total += t.size(dim);
+  }
+  out_shape[static_cast<std::size_t>(dim)] = total;
+
+  std::int64_t outer = 1;
+  for (std::int64_t d = 0; d < dim; ++d) outer *= out_shape[static_cast<std::size_t>(d)];
+  std::int64_t inner = 1;
+  for (std::size_t d = static_cast<std::size_t>(dim) + 1; d < out_shape.size(); ++d) {
+    inner *= out_shape[d];
+  }
+
+  std::vector<float> out(static_cast<std::size_t>(numel_of(out_shape)));
+  std::vector<std::int64_t> offsets;  // running offset of each input in `dim`
+  offsets.reserve(tensors.size());
+  {
+    std::int64_t off = 0;
+    for (const auto& t : tensors) {
+      offsets.push_back(off);
+      const std::int64_t mid = t.size(dim);
+      const float* src = t.data().data();
+      for (std::int64_t o = 0; o < outer; ++o) {
+        std::memcpy(out.data() + (o * total + off) * inner,
+                    src + o * mid * inner,
+                    static_cast<std::size_t>(mid * inner) * sizeof(float));
+      }
+      off += mid;
+    }
+  }
+
+  std::vector<std::shared_ptr<TensorImpl>> impls;
+  std::vector<std::int64_t> mids;
+  impls.reserve(tensors.size());
+  for (const auto& t : tensors) {
+    impls.push_back(t.impl());
+    mids.push_back(t.size(dim));
+  }
+  return detail::make_op_output(
+      std::move(out_shape), std::move(out), tensors, "concat",
+      [impls, mids, offsets, outer, inner, total](const TensorImpl& o) {
+        const float* go = o.grad.data();
+        for (std::size_t idx = 0; idx < impls.size(); ++idx) {
+          if (!detail::wants_grad(*impls[idx])) continue;
+          float* g = impls[idx]->grad_buffer().data();
+          const std::int64_t mid = mids[idx];
+          const std::int64_t off = offsets[idx];
+          for (std::int64_t ob = 0; ob < outer; ++ob) {
+            const float* src = go + (ob * total + off) * inner;
+            float* dst = g + ob * mid * inner;
+            for (std::int64_t i = 0; i < mid * inner; ++i) dst[i] += src[i];
+          }
+        }
+      });
+}
+
+Tensor transpose_last2(const Tensor& a) {
+  const std::int64_t rank = a.dim();
+  if (rank < 2) throw std::invalid_argument("transpose_last2: rank < 2");
+  Shape out_shape = a.shape();
+  std::swap(out_shape[static_cast<std::size_t>(rank - 1)],
+            out_shape[static_cast<std::size_t>(rank - 2)]);
+  const std::int64_t rows = a.size(rank - 2);
+  const std::int64_t cols = a.size(rank - 1);
+  const std::int64_t batch = a.numel() / (rows * cols);
+
+  std::vector<float> out(static_cast<std::size_t>(a.numel()));
+  const float* src = a.data().data();
+  for (std::int64_t b = 0; b < batch; ++b) {
+    const float* sb = src + b * rows * cols;
+    float* db = out.data() + b * rows * cols;
+    for (std::int64_t r = 0; r < rows; ++r) {
+      for (std::int64_t c = 0; c < cols; ++c) db[c * rows + r] = sb[r * cols + c];
+    }
+  }
+
+  auto a_impl = a.impl();
+  return detail::make_op_output(
+      std::move(out_shape), std::move(out), {a}, "transpose_last2",
+      [a_impl, batch, rows, cols](const TensorImpl& o) {
+        if (!detail::wants_grad(*a_impl)) return;
+        float* ga = a_impl->grad_buffer().data();
+        const float* go = o.grad.data();
+        for (std::int64_t b = 0; b < batch; ++b) {
+          const float* gb = go + b * rows * cols;
+          float* ab = ga + b * rows * cols;
+          for (std::int64_t r = 0; r < rows; ++r) {
+            for (std::int64_t c = 0; c < cols; ++c) {
+              ab[r * cols + c] += gb[c * rows + r];
+            }
+          }
+        }
+      });
+}
+
+Tensor stack(const std::vector<Tensor>& tensors) {
+  if (tensors.empty()) throw std::invalid_argument("stack: empty input");
+  std::vector<Tensor> expanded;
+  expanded.reserve(tensors.size());
+  for (const auto& t : tensors) {
+    Shape s = t.shape();
+    s.insert(s.begin(), 1);
+    expanded.push_back(reshape(t, std::move(s)));
+  }
+  return concat(expanded, 0);
+}
+
+}  // namespace saga

@@ -1,0 +1,31 @@
+// Shape-manipulation operations (autograd-aware): reshape, slice, select,
+// concat, transpose of the trailing two dimensions.
+#pragma once
+
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace saga {
+
+/// Returns a tensor with the same data in a new shape (copies; gradients are
+/// reshaped back). One dimension may be -1 and is inferred.
+Tensor reshape(const Tensor& a, Shape new_shape);
+
+/// Slice along `dim`: keeps indices [start, start+length).
+Tensor slice(const Tensor& a, std::int64_t dim, std::int64_t start,
+             std::int64_t length);
+
+/// Removes dimension `dim` by picking `index`; output rank is rank-1.
+Tensor select(const Tensor& a, std::int64_t dim, std::int64_t index);
+
+/// Concatenates tensors along `dim`; all other dims must match.
+Tensor concat(const std::vector<Tensor>& tensors, std::int64_t dim);
+
+/// Swaps the last two dimensions (rank >= 2).
+Tensor transpose_last2(const Tensor& a);
+
+/// Stacks rank-(r) tensors into a rank-(r+1) tensor along a new leading dim.
+Tensor stack(const std::vector<Tensor>& tensors);
+
+}  // namespace saga

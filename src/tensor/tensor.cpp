@@ -1,0 +1,208 @@
+#include "tensor/tensor.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace saga {
+
+std::vector<float>& TensorImpl::grad_buffer() {
+  if (grad.size() != data.size()) grad.assign(data.size(), 0.0F);
+  return grad;
+}
+
+Tensor Tensor::zeros(Shape shape, bool requires_grad) {
+  return full(std::move(shape), 0.0F, requires_grad);
+}
+
+Tensor Tensor::ones(Shape shape, bool requires_grad) {
+  return full(std::move(shape), 1.0F, requires_grad);
+}
+
+Tensor Tensor::full(Shape shape, float value, bool requires_grad) {
+  const std::int64_t n = numel_of(shape);
+  auto impl = std::make_shared<TensorImpl>();
+  impl->shape = std::move(shape);
+  impl->data.assign(static_cast<std::size_t>(n), value);
+  impl->requires_grad = requires_grad;
+  return Tensor(std::move(impl));
+}
+
+Tensor Tensor::scalar(float value) { return full({1}, value, false); }
+
+Tensor Tensor::from_data(Shape shape, std::vector<float> values,
+                         bool requires_grad) {
+  if (numel_of(shape) != static_cast<std::int64_t>(values.size())) {
+    throw std::invalid_argument("from_data: size mismatch for shape " +
+                                shape_str(shape));
+  }
+  auto impl = std::make_shared<TensorImpl>();
+  impl->shape = std::move(shape);
+  impl->data = std::move(values);
+  impl->requires_grad = requires_grad;
+  return Tensor(std::move(impl));
+}
+
+Tensor Tensor::randn(Shape shape, util::Rng& rng, float stddev,
+                     bool requires_grad) {
+  const std::int64_t n = numel_of(shape);
+  std::vector<float> values(static_cast<std::size_t>(n));
+  for (auto& v : values) v = static_cast<float>(rng.normal(0.0, stddev));
+  return from_data(std::move(shape), std::move(values), requires_grad);
+}
+
+Tensor Tensor::rand_uniform(Shape shape, util::Rng& rng, float lo, float hi,
+                            bool requires_grad) {
+  const std::int64_t n = numel_of(shape);
+  std::vector<float> values(static_cast<std::size_t>(n));
+  for (auto& v : values) v = static_cast<float>(rng.uniform(lo, hi));
+  return from_data(std::move(shape), std::move(values), requires_grad);
+}
+
+const Shape& Tensor::shape() const {
+  if (!impl_) throw std::logic_error("Tensor: undefined");
+  return impl_->shape;
+}
+
+std::int64_t Tensor::size(std::int64_t d) const {
+  const auto& s = shape();
+  const std::int64_t rank = static_cast<std::int64_t>(s.size());
+  if (d < 0) d += rank;
+  if (d < 0 || d >= rank) throw std::out_of_range("Tensor::size: bad dim");
+  return s[static_cast<std::size_t>(d)];
+}
+
+std::int64_t Tensor::numel() const {
+  if (!impl_) return 0;
+  return impl_->numel();
+}
+
+std::span<float> Tensor::data() {
+  if (!impl_) throw std::logic_error("Tensor: undefined");
+  return {impl_->data.data(), impl_->data.size()};
+}
+
+std::span<const float> Tensor::data() const {
+  if (!impl_) throw std::logic_error("Tensor: undefined");
+  return {impl_->data.data(), impl_->data.size()};
+}
+
+std::span<float> Tensor::grad() {
+  if (!impl_) throw std::logic_error("Tensor: undefined");
+  auto& g = impl_->grad_buffer();
+  return {g.data(), g.size()};
+}
+
+bool Tensor::has_grad() const {
+  return impl_ && impl_->grad.size() == impl_->data.size();
+}
+
+void Tensor::zero_grad() {
+  if (impl_ && !impl_->grad.empty()) {
+    std::fill(impl_->grad.begin(), impl_->grad.end(), 0.0F);
+  }
+}
+
+bool Tensor::requires_grad() const { return impl_ && impl_->requires_grad; }
+
+Tensor& Tensor::set_requires_grad(bool value) {
+  if (!impl_) throw std::logic_error("Tensor: undefined");
+  impl_->requires_grad = value;
+  return *this;
+}
+
+float Tensor::item() const {
+  if (numel() != 1) {
+    throw std::logic_error("Tensor::item: tensor has " +
+                           std::to_string(numel()) + " elements");
+  }
+  return impl_->data[0];
+}
+
+float Tensor::at(std::int64_t flat_index) const {
+  if (!impl_ || flat_index < 0 || flat_index >= numel()) {
+    throw std::out_of_range("Tensor::at");
+  }
+  return impl_->data[static_cast<std::size_t>(flat_index)];
+}
+
+Tensor Tensor::clone() const {
+  if (!impl_) return Tensor();
+  auto impl = std::make_shared<TensorImpl>();
+  impl->shape = impl_->shape;
+  impl->data = impl_->data;
+  impl->requires_grad = impl_->requires_grad;
+  return Tensor(std::move(impl));
+}
+
+Tensor Tensor::detach() const {
+  Tensor copy = clone();
+  if (copy.impl()) copy.impl()->requires_grad = false;
+  return copy;
+}
+
+void Tensor::backward() {
+  if (!impl_) throw std::logic_error("backward: undefined tensor");
+  if (numel() != 1) {
+    throw std::logic_error("backward: only scalar outputs supported");
+  }
+
+  // Iterative post-order DFS to get a reverse topological order.
+  std::vector<TensorImpl*> order;
+  std::unordered_set<TensorImpl*> visited;
+  std::vector<std::pair<TensorImpl*, std::size_t>> stack;
+  stack.emplace_back(impl_.get(), 0);
+  visited.insert(impl_.get());
+  while (!stack.empty()) {
+    auto& [impl, next_child] = stack.back();
+    if (impl->node && next_child < impl->node->inputs.size()) {
+      TensorImpl* child = impl->node->inputs[next_child].get();
+      ++next_child;
+      if (child->node && visited.insert(child).second) {
+        stack.emplace_back(child, 0);
+      }
+    } else {
+      order.push_back(impl);
+      stack.pop_back();
+    }
+  }
+
+  impl_->grad_buffer().assign(impl_->data.size(), 1.0F);
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    TensorImpl* impl = *it;
+    if (impl->node && !impl->grad.empty()) {
+      impl->node->backward(*impl);
+    }
+  }
+}
+
+namespace detail {
+
+Tensor make_op_output(Shape shape, std::vector<float> data,
+                      const std::vector<Tensor>& inputs, std::string op_name,
+                      std::function<void(const TensorImpl&)> backward) {
+  Tensor out = Tensor::from_data(std::move(shape), std::move(data), false);
+  if (!grad_enabled()) return out;
+  bool any_grad = false;
+  for (const auto& input : inputs) {
+    if (input.defined() &&
+        (input.requires_grad() || input.impl()->node != nullptr)) {
+      any_grad = true;
+      break;
+    }
+  }
+  if (!any_grad) return out;
+
+  auto node = std::make_shared<AutogradNode>();
+  node->op = std::move(op_name);
+  node->inputs.reserve(inputs.size());
+  for (const auto& input : inputs) node->inputs.push_back(input.impl());
+  node->backward = std::move(backward);
+  out.impl()->node = std::move(node);
+  out.impl()->requires_grad = true;
+  return out;
+}
+
+}  // namespace detail
+
+}  // namespace saga

@@ -1,0 +1,125 @@
+// saga::Tensor — a dense float32 tensor with reverse-mode autograd.
+//
+// Design: Tensor is a cheap value handle (shared_ptr to TensorImpl). Each
+// operation that involves a gradient-requiring input attaches an autograd
+// Node to its output; Node stores the input impls (for topological traversal)
+// and a backward closure that scatters the output gradient into the inputs.
+// Tensor::backward() on a scalar runs the tape in reverse topological order.
+//
+// This is the substrate replacing PyTorch in the paper's implementation
+// (DESIGN.md §2, row 1).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "tensor/grad_mode.hpp"
+#include "tensor/shape.hpp"
+#include "util/rng.hpp"
+
+namespace saga {
+
+struct TensorImpl;
+
+/// Autograd graph node attached to an operation's output.
+struct AutogradNode {
+  /// Operation name, for debugging ("matmul", "softmax", ...).
+  std::string op;
+  /// Inputs of the op, in order; traversed during backward().
+  std::vector<std::shared_ptr<TensorImpl>> inputs;
+  /// Scatters `out`'s gradient into the inputs' gradient buffers.
+  std::function<void(const TensorImpl& out)> backward;
+};
+
+struct TensorImpl {
+  Shape shape;
+  std::vector<float> data;
+  std::vector<float> grad;  // lazily allocated, same size as data
+  bool requires_grad = false;
+  std::shared_ptr<AutogradNode> node;  // null for leaves and constants
+
+  std::int64_t numel() const noexcept {
+    return static_cast<std::int64_t>(data.size());
+  }
+  /// Returns the gradient buffer, allocating zeros on first use.
+  std::vector<float>& grad_buffer();
+};
+
+class Tensor {
+ public:
+  /// Default-constructed tensors are "undefined" (no storage).
+  Tensor() = default;
+
+  // ---- factories -----------------------------------------------------
+  static Tensor zeros(Shape shape, bool requires_grad = false);
+  static Tensor ones(Shape shape, bool requires_grad = false);
+  static Tensor full(Shape shape, float value, bool requires_grad = false);
+  static Tensor scalar(float value);
+  /// Takes ownership of `values`; size must equal numel(shape).
+  static Tensor from_data(Shape shape, std::vector<float> values,
+                          bool requires_grad = false);
+  static Tensor randn(Shape shape, util::Rng& rng, float stddev = 1.0F,
+                      bool requires_grad = false);
+  static Tensor rand_uniform(Shape shape, util::Rng& rng, float lo, float hi,
+                             bool requires_grad = false);
+
+  // ---- inspection ----------------------------------------------------
+  bool defined() const noexcept { return impl_ != nullptr; }
+  const Shape& shape() const;
+  std::int64_t dim() const { return static_cast<std::int64_t>(shape().size()); }
+  /// Size of dimension d; negative d counts from the back.
+  std::int64_t size(std::int64_t d) const;
+  std::int64_t numel() const;
+
+  std::span<float> data();
+  std::span<const float> data() const;
+  /// Gradient buffer (allocated on demand).
+  std::span<float> grad();
+  bool has_grad() const;
+  void zero_grad();
+
+  bool requires_grad() const;
+  Tensor& set_requires_grad(bool value);
+
+  /// Value of a one-element tensor.
+  float item() const;
+  /// Element at flat index (bounds-checked).
+  float at(std::int64_t flat_index) const;
+
+  // ---- graph ---------------------------------------------------------
+  /// Deep copy with no autograd history.
+  Tensor clone() const;
+  /// Same storage view, detached from the graph (copies data; tensors are
+  /// small in this system and copying keeps ownership simple).
+  Tensor detach() const;
+  /// Runs reverse-mode autodiff from this scalar tensor.
+  void backward();
+
+  const std::shared_ptr<TensorImpl>& impl() const { return impl_; }
+  explicit Tensor(std::shared_ptr<TensorImpl> impl) : impl_(std::move(impl)) {}
+
+ private:
+  std::shared_ptr<TensorImpl> impl_;
+};
+
+namespace detail {
+
+/// Creates an op output: allocates storage, propagates requires_grad from
+/// inputs, and (when grad mode is on and some input needs grad) attaches a
+/// node with the given backward closure.
+Tensor make_op_output(Shape shape, std::vector<float> data,
+                      const std::vector<Tensor>& inputs, std::string op_name,
+                      std::function<void(const TensorImpl&)> backward);
+
+/// True when gradients must flow into this impl during backward.
+inline bool wants_grad(const TensorImpl& impl) noexcept {
+  return impl.requires_grad;
+}
+
+}  // namespace detail
+
+}  // namespace saga

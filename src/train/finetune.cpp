@@ -1,0 +1,99 @@
+#include "train/finetune.hpp"
+
+#include <chrono>
+#include <stdexcept>
+
+#include "data/batch.hpp"
+#include "nn/optimizer.hpp"
+#include "tensor/grad_mode.hpp"
+#include "tensor/loss.hpp"
+#include "tensor/reduce.hpp"
+#include "util/logging.hpp"
+
+namespace saga::train {
+
+FinetuneStats finetune_classifier(models::LimuBertBackbone& backbone,
+                                  models::GruClassifier& classifier,
+                                  const data::Dataset& dataset,
+                                  const std::vector<std::int64_t>& train_indices,
+                                  data::Task task, const FinetuneConfig& config) {
+  if (train_indices.empty()) throw std::invalid_argument("finetune: no samples");
+  const auto start = std::chrono::steady_clock::now();
+  util::SeedSplitter seeds(config.seed);
+
+  nn::Adam::Options head_options;
+  head_options.lr = config.learning_rate;
+  nn::Adam head_optimizer(classifier.parameters(), head_options);
+
+  nn::Adam::Options backbone_options;
+  backbone_options.lr = config.learning_rate * config.backbone_lr_scale;
+  nn::Adam backbone_optimizer(
+      config.train_backbone ? backbone.parameters() : std::vector<Tensor>{},
+      backbone_options);
+
+  backbone.set_training(config.train_backbone);
+  classifier.set_training(true);
+
+  data::BatchIterator batches(dataset, train_indices, task, config.batch_size,
+                              seeds.next());
+
+  FinetuneStats stats;
+  for (std::int64_t epoch = 0; epoch < config.epochs; ++epoch) {
+    batches.reset();
+    double epoch_loss = 0.0;
+    std::int64_t batch_count = 0;
+    data::Batch batch;
+    while (batches.next(batch)) {
+      head_optimizer.zero_grad();
+      backbone_optimizer.zero_grad();
+      const Tensor encoded = backbone.encode(batch.inputs);
+      const Tensor logits = classifier.forward(encoded);
+      Tensor loss = cross_entropy(logits, batch.labels);
+      loss.backward();
+      if (config.grad_clip > 0.0) {
+        head_optimizer.clip_grad_norm(config.grad_clip);
+        backbone_optimizer.clip_grad_norm(config.grad_clip);
+      }
+      head_optimizer.step();
+      backbone_optimizer.step();
+      epoch_loss += loss.item();
+      ++batch_count;
+    }
+    stats.epoch_losses.push_back(epoch_loss / std::max<std::int64_t>(1, batch_count));
+    util::log_debug() << "finetune epoch " << epoch << " loss "
+                      << stats.epoch_losses.back();
+  }
+
+  stats.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return stats;
+}
+
+Metrics evaluate(models::LimuBertBackbone& backbone,
+                 models::GruClassifier& classifier, const data::Dataset& dataset,
+                 const std::vector<std::int64_t>& indices, data::Task task,
+                 std::int64_t batch_size) {
+  if (indices.empty()) return Metrics{};
+  backbone.set_training(false);
+  classifier.set_training(false);
+  NoGradGuard no_grad;
+
+  ConfusionMatrix confusion(dataset.num_classes(task));
+  for (std::size_t begin = 0; begin < indices.size();
+       begin += static_cast<std::size_t>(batch_size)) {
+    const std::size_t end =
+        std::min(indices.size(), begin + static_cast<std::size_t>(batch_size));
+    const std::vector<std::int64_t> chunk(indices.begin() + static_cast<std::ptrdiff_t>(begin),
+                                          indices.begin() + static_cast<std::ptrdiff_t>(end));
+    const data::Batch batch = data::make_batch(dataset, chunk, task);
+    const Tensor logits = classifier.forward(backbone.encode(batch.inputs));
+    const auto predictions = argmax_lastdim(logits);
+    for (std::size_t i = 0; i < predictions.size(); ++i) {
+      confusion.add(batch.labels[i], predictions[i]);
+    }
+  }
+  return confusion.metrics();
+}
+
+}  // namespace saga::train

@@ -1,0 +1,69 @@
+#include "train/metrics.hpp"
+
+#include <stdexcept>
+
+namespace saga::train {
+
+ConfusionMatrix::ConfusionMatrix(std::int64_t num_classes)
+    : num_classes_(num_classes),
+      counts_(static_cast<std::size_t>(num_classes * num_classes), 0) {
+  if (num_classes < 1) throw std::invalid_argument("ConfusionMatrix: classes >= 1");
+}
+
+void ConfusionMatrix::add(std::int64_t truth, std::int64_t predicted) {
+  if (truth < 0 || truth >= num_classes_ || predicted < 0 ||
+      predicted >= num_classes_) {
+    throw std::out_of_range("ConfusionMatrix::add: bad class index");
+  }
+  ++counts_[static_cast<std::size_t>(truth * num_classes_ + predicted)];
+  ++total_;
+}
+
+void ConfusionMatrix::merge(const ConfusionMatrix& other) {
+  if (other.num_classes_ != num_classes_) {
+    throw std::invalid_argument("ConfusionMatrix::merge: size mismatch");
+  }
+  for (std::size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+  total_ += other.total_;
+}
+
+std::int64_t ConfusionMatrix::count(std::int64_t truth, std::int64_t predicted) const {
+  return counts_.at(static_cast<std::size_t>(truth * num_classes_ + predicted));
+}
+
+double ConfusionMatrix::accuracy() const {
+  if (total_ == 0) return 0.0;
+  std::int64_t correct = 0;
+  for (std::int64_t c = 0; c < num_classes_; ++c) correct += count(c, c);
+  return static_cast<double>(correct) / static_cast<double>(total_);
+}
+
+double ConfusionMatrix::macro_f1() const {
+  if (total_ == 0) return 0.0;
+  double f1_sum = 0.0;
+  for (std::int64_t c = 0; c < num_classes_; ++c) {
+    std::int64_t tp = count(c, c);
+    std::int64_t fp = 0;
+    std::int64_t fn = 0;
+    for (std::int64_t o = 0; o < num_classes_; ++o) {
+      if (o == c) continue;
+      fp += count(o, c);
+      fn += count(c, o);
+    }
+    const double denom_p = static_cast<double>(tp + fp);
+    const double denom_r = static_cast<double>(tp + fn);
+    if (denom_p == 0.0 && denom_r == 0.0) continue;  // class absent entirely
+    const double precision = denom_p > 0.0 ? static_cast<double>(tp) / denom_p : 0.0;
+    const double recall = denom_r > 0.0 ? static_cast<double>(tp) / denom_r : 0.0;
+    if (precision + recall > 0.0) {
+      f1_sum += 2.0 * precision * recall / (precision + recall);
+    }
+  }
+  return f1_sum / static_cast<double>(num_classes_);
+}
+
+Metrics ConfusionMatrix::metrics() const {
+  return Metrics{accuracy(), macro_f1(), total_};
+}
+
+}  // namespace saga::train

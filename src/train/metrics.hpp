@@ -1,0 +1,40 @@
+// Classification metrics (paper §VII-A4): accuracy and macro-averaged F1.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace saga::train {
+
+struct Metrics {
+  double accuracy = 0.0;
+  double macro_f1 = 0.0;
+  std::int64_t num_samples = 0;
+};
+
+/// Row = true class, column = predicted class.
+class ConfusionMatrix {
+ public:
+  explicit ConfusionMatrix(std::int64_t num_classes);
+
+  void add(std::int64_t truth, std::int64_t predicted);
+  void merge(const ConfusionMatrix& other);
+
+  std::int64_t num_classes() const noexcept { return num_classes_; }
+  std::int64_t count(std::int64_t truth, std::int64_t predicted) const;
+  std::int64_t total() const noexcept { return total_; }
+
+  double accuracy() const;
+  /// Macro F1 per the paper: F1 = (1/Nc) * sum_i 2 p_i r_i / (p_i + r_i);
+  /// classes with no support and no predictions contribute 0.
+  double macro_f1() const;
+
+  Metrics metrics() const;
+
+ private:
+  std::int64_t num_classes_;
+  std::int64_t total_ = 0;
+  std::vector<std::int64_t> counts_;  // [num_classes * num_classes]
+};
+
+}  // namespace saga::train

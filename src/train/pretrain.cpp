@@ -1,0 +1,117 @@
+#include "train/pretrain.hpp"
+
+#include <chrono>
+#include <stdexcept>
+
+#include "nn/optimizer.hpp"
+#include "tensor/loss.hpp"
+#include "tensor/ops.hpp"
+#include "tensor/shape_ops.hpp"
+#include "util/logging.hpp"
+
+namespace saga::train {
+
+PretrainStats pretrain_backbone(models::LimuBertBackbone& backbone,
+                                models::ReconstructionHead& head,
+                                const data::Dataset& dataset,
+                                const std::vector<std::int64_t>& indices,
+                                const PretrainConfig& config) {
+  if (indices.empty()) throw std::invalid_argument("pretrain: no samples");
+  for (const double w : config.weights) {
+    if (w < 0.0) throw std::invalid_argument("pretrain: negative task weight");
+  }
+
+  const auto start = std::chrono::steady_clock::now();
+  util::SeedSplitter seeds(config.seed);
+
+  std::vector<Tensor> params = backbone.parameters();
+  {
+    auto head_params = head.parameters();
+    params.insert(params.end(), head_params.begin(), head_params.end());
+  }
+  nn::Adam::Options adam_options;
+  adam_options.lr = config.learning_rate;
+  nn::Adam optimizer(params, adam_options);
+
+  backbone.set_training(true);
+  head.set_training(true);
+
+  // Labels are irrelevant during pre-training; the iterator just needs a task.
+  data::BatchIterator batches(dataset, indices, data::Task::kActivityRecognition,
+                              config.batch_size, seeds.next());
+
+  PretrainStats stats;
+  for (std::int64_t epoch = 0; epoch < config.epochs; ++epoch) {
+    batches.reset();
+    double epoch_loss = 0.0;
+    std::array<double, 4> level_losses{};
+    std::array<std::int64_t, 4> level_counts{};
+    std::int64_t batch_count = 0;
+
+    data::Batch batch;
+    while (batches.next(batch)) {
+      optimizer.zero_grad();
+
+      // Mask the batch once per active level, then run all views through the
+      // backbone as one concatenated batch: bigger matmuls, one graph.
+      std::vector<std::size_t> active;
+      std::vector<mask::BatchMask> views;
+      std::vector<Tensor> inputs;
+      for (std::size_t li = 0; li < mask::kAllLevels.size(); ++li) {
+        if (config.weights[li] <= 0.0) continue;
+        views.push_back(mask::mask_batch(batch.inputs, mask::kAllLevels[li],
+                                         config.masking, seeds.next()));
+        inputs.push_back(views.back().masked);
+        active.push_back(li);
+      }
+      if (active.empty()) {
+        throw std::invalid_argument("pretrain: all task weights are zero");
+      }
+      const Tensor combined =
+          inputs.size() == 1 ? inputs.front() : concat(inputs, 0);
+      const Tensor reconstructed = head.forward(backbone.encode(combined));
+
+      const std::int64_t per_view = batch.inputs.size(0);
+      Tensor total_loss;
+      for (std::size_t vi = 0; vi < active.size(); ++vi) {
+        const std::size_t li = active[vi];
+        const Tensor view_recon =
+            active.size() == 1
+                ? reconstructed
+                : slice(reconstructed, 0, static_cast<std::int64_t>(vi) * per_view,
+                        per_view);
+        const Tensor level_loss =
+            mse_masked(view_recon, batch.inputs, views[vi].mask);
+        level_losses[li] += level_loss.item();
+        ++level_counts[li];
+        const Tensor weighted =
+            scale(level_loss, static_cast<float>(config.weights[li]));
+        total_loss = total_loss.defined() ? add(total_loss, weighted) : weighted;
+      }
+      total_loss.backward();
+      if (config.grad_clip > 0.0) optimizer.clip_grad_norm(config.grad_clip);
+      optimizer.step();
+      epoch_loss += total_loss.item();
+      ++batch_count;
+    }
+
+    stats.epoch_losses.push_back(epoch_loss / std::max<std::int64_t>(1, batch_count));
+    if (epoch + 1 == config.epochs) {
+      for (std::size_t li = 0; li < 4; ++li) {
+        stats.last_level_losses[li] =
+            level_counts[li] > 0
+                ? level_losses[li] / static_cast<double>(level_counts[li])
+                : 0.0;
+      }
+    }
+    util::log_debug() << "pretrain epoch " << epoch << " loss "
+                      << stats.epoch_losses.back();
+  }
+
+  stats.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return stats;
+}
+
+}  // namespace saga::train

@@ -1,0 +1,50 @@
+// Backbone pre-training with weighted multi-level masking (paper §V-A):
+//   L = w_se L_se + w_po L_po + w_sp L_sp + w_pe L_pe           (Eq. 7)
+// where each L_* is the masked-position MSE of reconstructing the original
+// window from its masked version.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "data/batch.hpp"
+#include "data/dataset.hpp"
+#include "masking/masking.hpp"
+#include "models/backbone.hpp"
+
+namespace saga::train {
+
+/// Pre-training-task weights in the paper's order {se, po, sp, pe}.
+using TaskWeights = std::array<double, 4>;
+
+/// Equal weights (the "Saga(ran.)" ablation samples these randomly instead).
+inline constexpr TaskWeights kUniformWeights{0.25, 0.25, 0.25, 0.25};
+
+struct PretrainConfig {
+  TaskWeights weights = kUniformWeights;
+  std::int64_t epochs = 50;      // paper §VII-A1
+  std::int64_t batch_size = 32;
+  double learning_rate = 1e-3;   // Adam (paper §VII-A1)
+  double grad_clip = 5.0;        // 0 disables clipping
+  mask::MaskingOptions masking{};
+  std::uint64_t seed = 7;
+};
+
+struct PretrainStats {
+  std::vector<double> epoch_losses;  // weighted total loss per epoch
+  /// Mean per-level losses of the last epoch, order {se, po, sp, pe}.
+  std::array<double, 4> last_level_losses{};
+  double wall_seconds = 0.0;
+};
+
+/// Pre-trains backbone+head in place on the windows at `indices` (labels are
+/// never read — this is the unsupervised phase). Levels with zero weight are
+/// skipped entirely, which is how the single-level ablations run.
+PretrainStats pretrain_backbone(models::LimuBertBackbone& backbone,
+                                models::ReconstructionHead& head,
+                                const data::Dataset& dataset,
+                                const std::vector<std::int64_t>& indices,
+                                const PretrainConfig& config);
+
+}  // namespace saga::train

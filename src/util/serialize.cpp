@@ -1,0 +1,88 @@
+#include "util/serialize.hpp"
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <stdexcept>
+
+namespace saga::util {
+
+namespace {
+
+constexpr char kMagic[4] = {'S', 'A', 'G', 'A'};
+constexpr std::uint32_t kVersion = 1;
+
+struct FileCloser {
+  void operator()(std::FILE* f) const noexcept {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+void write_bytes(std::FILE* f, const void* data, std::size_t size) {
+  if (std::fwrite(data, 1, size, f) != size) {
+    throw std::runtime_error("serialize: short write");
+  }
+}
+
+void read_bytes(std::FILE* f, void* data, std::size_t size) {
+  if (std::fread(data, 1, size, f) != size) {
+    throw std::runtime_error("serialize: short read (corrupt file?)");
+  }
+}
+
+template <typename T>
+void write_pod(std::FILE* f, const T& value) {
+  write_bytes(f, &value, sizeof(T));
+}
+
+template <typename T>
+T read_pod(std::FILE* f) {
+  T value;
+  read_bytes(f, &value, sizeof(T));
+  return value;
+}
+
+}  // namespace
+
+void save_blobs(const std::string& path, const NamedBlobs& blobs) {
+  FilePtr f(std::fopen(path.c_str(), "wb"));
+  if (!f) throw std::runtime_error("serialize: cannot open for write: " + path);
+  write_bytes(f.get(), kMagic, sizeof(kMagic));
+  write_pod(f.get(), kVersion);
+  write_pod<std::uint64_t>(f.get(), blobs.size());
+  for (const auto& [name, values] : blobs) {
+    write_pod<std::uint64_t>(f.get(), name.size());
+    write_bytes(f.get(), name.data(), name.size());
+    write_pod<std::uint64_t>(f.get(), values.size());
+    write_bytes(f.get(), values.data(), values.size() * sizeof(float));
+  }
+}
+
+NamedBlobs load_blobs(const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "rb"));
+  if (!f) throw std::runtime_error("serialize: cannot open for read: " + path);
+  char magic[4];
+  read_bytes(f.get(), magic, sizeof(magic));
+  if (std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    throw std::runtime_error("serialize: bad magic in " + path);
+  }
+  const auto version = read_pod<std::uint32_t>(f.get());
+  if (version != kVersion) {
+    throw std::runtime_error("serialize: unsupported version");
+  }
+  const auto count = read_pod<std::uint64_t>(f.get());
+  NamedBlobs blobs;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const auto name_len = read_pod<std::uint64_t>(f.get());
+    std::string name(name_len, '\0');
+    read_bytes(f.get(), name.data(), name_len);
+    const auto float_count = read_pod<std::uint64_t>(f.get());
+    std::vector<float> values(float_count);
+    read_bytes(f.get(), values.data(), float_count * sizeof(float));
+    blobs.emplace(std::move(name), std::move(values));
+  }
+  return blobs;
+}
+
+}  // namespace saga::util

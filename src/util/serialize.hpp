@@ -1,0 +1,21 @@
+// Minimal binary serialization for model checkpoints: named float blobs with
+// a magic header and explicit sizes. Format (little endian):
+//   "SAGA" u32_version u64_count { u64_name_len bytes u64_float_count floats }*
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace saga::util {
+
+using NamedBlobs = std::map<std::string, std::vector<float>>;
+
+/// Writes blobs to `path`; throws std::runtime_error on I/O failure.
+void save_blobs(const std::string& path, const NamedBlobs& blobs);
+
+/// Reads blobs from `path`; throws std::runtime_error on malformed files.
+NamedBlobs load_blobs(const std::string& path);
+
+}  // namespace saga::util

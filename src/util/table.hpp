@@ -1,0 +1,31 @@
+// ASCII table printer used by the benchmark harness to emit the paper's
+// tables/figures as aligned text.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace saga::util {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends one row; must have the same arity as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Formats a double with fixed precision (helper for row building).
+  static std::string fmt(double value, int precision = 2);
+
+  /// Renders the table with a separator under the header.
+  std::string to_string() const;
+
+  /// Renders and writes to stdout.
+  void print() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace saga::util

@@ -1,0 +1,54 @@
+// Finite-difference gradient checking for the autograd tape.
+//
+// check_gradients(forward, inputs): `forward` must rebuild the graph from the
+// current contents of `inputs` and return a scalar loss. Each element of each
+// input is perturbed by +/- eps; the central difference is compared against
+// the analytic gradient. Tolerances are loose because the tensors are float32.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace saga::testing {
+
+inline void check_gradients(const std::function<Tensor()>& forward,
+                            std::vector<Tensor> inputs, float eps = 1e-2F,
+                            float abs_tol = 3e-2F, float rel_tol = 8e-2F) {
+  for (auto& input : inputs) input.set_requires_grad(true);
+
+  Tensor loss = forward();
+  ASSERT_EQ(loss.numel(), 1) << "gradcheck: forward must return a scalar";
+  for (auto& input : inputs) input.zero_grad();
+  loss.backward();
+
+  std::vector<std::vector<float>> analytic;
+  analytic.reserve(inputs.size());
+  for (auto& input : inputs) {
+    const auto g = input.grad();
+    analytic.emplace_back(g.begin(), g.end());
+  }
+
+  for (std::size_t t = 0; t < inputs.size(); ++t) {
+    auto data = inputs[t].data();
+    for (std::size_t i = 0; i < data.size(); ++i) {
+      const float saved = data[i];
+      data[i] = saved + eps;
+      const float up = forward().item();
+      data[i] = saved - eps;
+      const float down = forward().item();
+      data[i] = saved;
+      const float numeric = (up - down) / (2.0F * eps);
+      const float exact = analytic[t][i];
+      const float err = std::abs(numeric - exact);
+      const float tol = abs_tol + rel_tol * std::max(std::abs(numeric), std::abs(exact));
+      EXPECT_LE(err, tol) << "tensor " << t << " element " << i << ": analytic "
+                          << exact << " vs numeric " << numeric;
+    }
+  }
+}
+
+}  // namespace saga::testing

@@ -1,0 +1,266 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "data/batch.hpp"
+#include "data/synthetic.hpp"
+#include "masking/masking.hpp"
+#include "util/rng.hpp"
+
+namespace saga::mask {
+namespace {
+
+std::vector<float> periodic_window(std::int64_t length, std::int64_t channels,
+                                   double period) {
+  std::vector<float> window(static_cast<std::size_t>(length * channels));
+  for (std::int64_t t = 0; t < length; ++t) {
+    for (std::int64_t c = 0; c < channels; ++c) {
+      window[static_cast<std::size_t>(t * channels + c)] = static_cast<float>(
+          1.0 + std::sin(2.0 * std::numbers::pi * double(t) / period + 0.3 * double(c)));
+    }
+  }
+  return window;
+}
+
+class MaskLevelCase
+    : public ::testing::TestWithParam<std::tuple<MaskLevel, std::int64_t>> {};
+
+TEST_P(MaskLevelCase, MaskInvariantsHold) {
+  const auto [level, channels] = GetParam();
+  const std::int64_t length = 120;
+  const auto window = periodic_window(length, channels, 10.0);
+  util::Rng rng(7);
+  MaskingOptions options;
+  options.acc_axes = 3;
+  const MaskResult result =
+      mask_window(window, length, channels, level, options, rng);
+
+  ASSERT_EQ(result.masked.size(), window.size());
+  ASSERT_EQ(result.mask.size(), window.size());
+
+  std::int64_t masked_count = 0;
+  for (std::size_t i = 0; i < window.size(); ++i) {
+    if (result.mask[i] == 1.0F) {
+      EXPECT_EQ(result.masked[i], 0.0F) << "masked entry must be zeroed";
+      ++masked_count;
+    } else {
+      EXPECT_EQ(result.mask[i], 0.0F);
+      EXPECT_EQ(result.masked[i], window[i]) << "unmasked entry must be intact";
+    }
+  }
+  EXPECT_GT(masked_count, 0) << "every level must mask something";
+  EXPECT_LT(masked_count, static_cast<std::int64_t>(window.size()))
+      << "never mask everything";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllLevelsAndChannels, MaskLevelCase,
+    ::testing::Combine(::testing::Values(MaskLevel::kSensor, MaskLevel::kPoint,
+                                         MaskLevel::kSubPeriod,
+                                         MaskLevel::kPeriod),
+                       ::testing::Values<std::int64_t>(6, 9)));
+
+TEST(SensorMask, MasksWholeAxes) {
+  const std::int64_t length = 50;
+  const std::int64_t channels = 6;
+  const auto window = periodic_window(length, channels, 10.0);
+  util::Rng rng(3);
+  MaskingOptions options;
+  options.sensor_axes = 2;
+  const auto result =
+      mask_window(window, length, channels, MaskLevel::kSensor, options, rng);
+
+  // A channel is either fully masked at every time step or fully intact.
+  int masked_axes = 0;
+  for (std::int64_t c = 0; c < channels; ++c) {
+    bool all_masked = true;
+    bool none_masked = true;
+    for (std::int64_t t = 0; t < length; ++t) {
+      const bool m = result.mask[static_cast<std::size_t>(t * channels + c)] == 1.0F;
+      all_masked &= m;
+      none_masked &= !m;
+    }
+    EXPECT_TRUE(all_masked || none_masked) << "channel " << c;
+    masked_axes += all_masked ? 1 : 0;
+  }
+  EXPECT_EQ(masked_axes, 2);
+}
+
+TEST(PointMask, MasksOneContiguousSpanAllChannels) {
+  const std::int64_t length = 100;
+  const std::int64_t channels = 6;
+  const auto window = periodic_window(length, channels, 9.0);
+  util::Rng rng(5);
+  MaskingOptions options;
+  options.span_max = 12;
+  const auto result =
+      mask_window(window, length, channels, MaskLevel::kPoint, options, rng);
+
+  // Collect masked time steps: must be contiguous, span <= span_max, and each
+  // masked step covers all channels.
+  std::vector<std::int64_t> masked_steps;
+  for (std::int64_t t = 0; t < length; ++t) {
+    const bool m0 = result.mask[static_cast<std::size_t>(t * channels)] == 1.0F;
+    for (std::int64_t c = 1; c < channels; ++c) {
+      EXPECT_EQ(result.mask[static_cast<std::size_t>(t * channels + c)] == 1.0F, m0);
+    }
+    if (m0) masked_steps.push_back(t);
+  }
+  ASSERT_FALSE(masked_steps.empty());
+  EXPECT_LE(static_cast<std::int64_t>(masked_steps.size()), 12);
+  for (std::size_t i = 1; i < masked_steps.size(); ++i) {
+    EXPECT_EQ(masked_steps[i], masked_steps[i - 1] + 1);
+  }
+}
+
+TEST(PointMask, SpanLengthsFollowClippedGeometric) {
+  const std::int64_t length = 120;
+  const std::int64_t channels = 6;
+  const auto window = periodic_window(length, channels, 10.0);
+  MaskingOptions options;
+  options.span_p = 0.5;
+  options.span_max = 8;
+  util::Rng rng(11);
+  double total = 0.0;
+  const int reps = 400;
+  for (int r = 0; r < reps; ++r) {
+    const auto result =
+        mask_window(window, length, channels, MaskLevel::kPoint, options, rng);
+    std::int64_t steps = 0;
+    for (std::int64_t t = 0; t < length; ++t) {
+      steps += result.mask[static_cast<std::size_t>(t * channels)] == 1.0F ? 1 : 0;
+    }
+    EXPECT_LE(steps, 8);
+    total += static_cast<double>(steps);
+  }
+  // Mean of Geo(0.5) clipped at 8 is slightly below 2; spans truncated at the
+  // window edge push it lower. Just require the ballpark.
+  EXPECT_NEAR(total / reps, 2.0, 0.5);
+}
+
+TEST(SubPeriodMask, AlignsWithKeyPointPartition) {
+  const std::int64_t length = 120;
+  const std::int64_t channels = 6;
+  const auto window = periodic_window(length, channels, 15.0);
+  util::Rng rng(13);
+  MaskingOptions options;
+  const auto result =
+      mask_window(window, length, channels, MaskLevel::kSubPeriod, options, rng);
+
+  // The masked region must match one of the key-point sub-period ranges.
+  const auto energy = signal::energy_series(window, length, channels, 3);
+  const auto ranges =
+      signal::sub_periods(signal::find_key_points(energy, options.keypoints), length);
+  std::int64_t first = -1;
+  std::int64_t last = -1;
+  for (std::int64_t t = 0; t < length; ++t) {
+    if (result.mask[static_cast<std::size_t>(t * channels)] == 1.0F) {
+      if (first < 0) first = t;
+      last = t;
+    }
+  }
+  ASSERT_GE(first, 0);
+  bool matches = false;
+  for (const auto& [begin, end] : ranges) {
+    matches |= begin == first && end == last + 1;
+  }
+  EXPECT_TRUE(matches) << "masked [" << first << ", " << last + 1
+                       << ") is not a key-point sub-period";
+}
+
+TEST(PeriodMask, MasksOneMainPeriod) {
+  const std::int64_t length = 120;
+  const std::int64_t channels = 6;
+  const double period = 12.0;
+  const auto window = periodic_window(length, channels, period);
+  util::Rng rng(17);
+  MaskingOptions options;
+  const auto result =
+      mask_window(window, length, channels, MaskLevel::kPeriod, options, rng);
+  std::int64_t steps = 0;
+  for (std::int64_t t = 0; t < length; ++t) {
+    steps += result.mask[static_cast<std::size_t>(t * channels)] == 1.0F ? 1 : 0;
+  }
+  // One main period's worth of time steps (NB the FFT resolution on a padded
+  // 128-window makes 12 detect as 11-13).
+  EXPECT_GE(steps, 9);
+  EXPECT_LE(steps, 16);
+}
+
+TEST(PeriodMask, AperiodicFallbackSegments) {
+  // Constant window: no periodicity; fall back to length/aperiodic_segments.
+  std::vector<float> window(static_cast<std::size_t>(120 * 6), 1.0F);
+  util::Rng rng(19);
+  MaskingOptions options;
+  options.aperiodic_segments = 4;
+  const auto result =
+      mask_window(window, 120, 6, MaskLevel::kPeriod, options, rng);
+  std::int64_t steps = 0;
+  for (std::int64_t t = 0; t < 120; ++t) {
+    steps += result.mask[static_cast<std::size_t>(t * 6)] == 1.0F ? 1 : 0;
+  }
+  EXPECT_EQ(steps, 30);  // 120 / 4
+}
+
+TEST(MaskBatch, ShapeAndDeterminism) {
+  data::SyntheticSpec spec = data::hhar_like(8);
+  spec.window_length = 60;
+  const auto dataset = data::generate_dataset(spec);
+  std::vector<std::int64_t> indices{0, 1, 2, 3, 4, 5, 6, 7};
+  const auto batch = data::make_batch(dataset, indices, data::Task::kActivityRecognition);
+
+  const auto a = mask_batch(batch.inputs, MaskLevel::kPoint, {}, 99);
+  const auto b = mask_batch(batch.inputs, MaskLevel::kPoint, {}, 99);
+  EXPECT_EQ(a.masked.shape(), batch.inputs.shape());
+  for (std::int64_t i = 0; i < a.masked.numel(); ++i) {
+    EXPECT_EQ(a.masked.at(i), b.masked.at(i));
+    EXPECT_EQ(a.mask.at(i), b.mask.at(i));
+  }
+  const auto c = mask_batch(batch.inputs, MaskLevel::kPoint, {}, 100);
+  bool any_diff = false;
+  for (std::int64_t i = 0; i < a.mask.numel() && !any_diff; ++i) {
+    any_diff = a.mask.at(i) != c.mask.at(i);
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(MaskBatch, SamplesAreMaskedIndependently) {
+  data::SyntheticSpec spec = data::hhar_like(16);
+  spec.window_length = 60;
+  const auto dataset = data::generate_dataset(spec);
+  std::vector<std::int64_t> indices;
+  for (std::int64_t i = 0; i < 16; ++i) indices.push_back(i);
+  const auto batch = data::make_batch(dataset, indices, data::Task::kActivityRecognition);
+  const auto masked = mask_batch(batch.inputs, MaskLevel::kPoint, {}, 1);
+
+  // Not all samples should share the same masked span.
+  std::set<std::int64_t> first_masked_step;
+  const std::int64_t stride = 60 * 6;
+  for (std::int64_t s = 0; s < 16; ++s) {
+    for (std::int64_t t = 0; t < 60; ++t) {
+      if (masked.mask.at(s * stride + t * 6) == 1.0F) {
+        first_masked_step.insert(t);
+        break;
+      }
+    }
+  }
+  EXPECT_GT(first_masked_step.size(), 1U);
+}
+
+TEST(MaskWindow, ValidatesInputs) {
+  std::vector<float> window(10);
+  util::Rng rng(1);
+  EXPECT_THROW(mask_window(window, 3, 4, MaskLevel::kPoint, {}, rng),
+               std::invalid_argument);
+}
+
+TEST(LevelName, AllNamed) {
+  EXPECT_EQ(level_name(MaskLevel::kSensor), "sensor");
+  EXPECT_EQ(level_name(MaskLevel::kPoint), "point");
+  EXPECT_EQ(level_name(MaskLevel::kSubPeriod), "subperiod");
+  EXPECT_EQ(level_name(MaskLevel::kPeriod), "period");
+}
+
+}  // namespace
+}  // namespace saga::mask

@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include "gradcheck.hpp"
+#include "tensor/matmul.hpp"
+#include "tensor/reduce.hpp"
+#include "tensor/shape_ops.hpp"
+#include "util/rng.hpp"
+
+namespace saga {
+namespace {
+
+// Naive reference multiply.
+std::vector<float> reference_matmul(const std::vector<float>& a,
+                                    const std::vector<float>& b, std::int64_t m,
+                                    std::int64_t k, std::int64_t n) {
+  std::vector<float> c(static_cast<std::size_t>(m * n), 0.0F);
+  for (std::int64_t i = 0; i < m; ++i) {
+    for (std::int64_t j = 0; j < n; ++j) {
+      float acc = 0.0F;
+      for (std::int64_t p = 0; p < k; ++p) acc += a[i * k + p] * b[p * n + j];
+      c[i * n + j] = acc;
+    }
+  }
+  return c;
+}
+
+TEST(Matmul, MatchesReference) {
+  util::Rng rng(1);
+  const std::int64_t m = 7, k = 5, n = 9;
+  Tensor a = Tensor::randn({m, k}, rng);
+  Tensor b = Tensor::randn({k, n}, rng);
+  Tensor c = matmul(a, b);
+  const auto ref = reference_matmul({a.data().begin(), a.data().end()},
+                                    {b.data().begin(), b.data().end()}, m, k, n);
+  for (std::int64_t i = 0; i < m * n; ++i) EXPECT_NEAR(c.at(i), ref[i], 1e-4F);
+}
+
+TEST(Matmul, MatchesReferenceLargeParallel) {
+  util::Rng rng(2);
+  const std::int64_t m = 130, k = 64, n = 70;  // crosses the parallel threshold
+  Tensor a = Tensor::randn({m, k}, rng);
+  Tensor b = Tensor::randn({k, n}, rng);
+  Tensor c = matmul(a, b);
+  const auto ref = reference_matmul({a.data().begin(), a.data().end()},
+                                    {b.data().begin(), b.data().end()}, m, k, n);
+  for (std::int64_t i = 0; i < m * n; ++i) EXPECT_NEAR(c.at(i), ref[i], 1e-3F);
+}
+
+TEST(Matmul, RejectsBadShapes) {
+  EXPECT_THROW(matmul(Tensor::zeros({2, 3}), Tensor::zeros({4, 2})),
+               std::invalid_argument);
+  EXPECT_THROW(matmul(Tensor::zeros({2}), Tensor::zeros({2, 2})),
+               std::invalid_argument);
+}
+
+TEST(Matmul, GradCheck) {
+  util::Rng rng(3);
+  Tensor a = Tensor::randn({3, 4}, rng);
+  Tensor b = Tensor::randn({4, 2}, rng);
+  saga::testing::check_gradients([&]() { return sum(matmul(a, b)); }, {a, b});
+}
+
+class BmmTransposeCase : public ::testing::TestWithParam<std::tuple<bool, bool>> {};
+
+TEST_P(BmmTransposeCase, MatchesComposedReference) {
+  const auto [trans_a, trans_b] = GetParam();
+  util::Rng rng(4);
+  const std::int64_t batch = 3, m = 5, k = 4, n = 6;
+  Tensor a = trans_a ? Tensor::randn({batch, k, m}, rng)
+                     : Tensor::randn({batch, m, k}, rng);
+  Tensor b = trans_b ? Tensor::randn({batch, n, k}, rng)
+                     : Tensor::randn({batch, k, n}, rng);
+  Tensor c = bmm(a, b, trans_a, trans_b);
+  ASSERT_EQ(c.shape(), (Shape{batch, m, n}));
+
+  // Reference via per-batch 2-D matmul on explicitly transposed tensors.
+  Tensor a2 = trans_a ? transpose_last2(a) : a;
+  Tensor b2 = trans_b ? transpose_last2(b) : b;
+  for (std::int64_t bi = 0; bi < batch; ++bi) {
+    Tensor ab = select(a2, 0, bi);
+    Tensor bb = select(b2, 0, bi);
+    Tensor ref = matmul(ab, bb);
+    for (std::int64_t i = 0; i < m * n; ++i) {
+      EXPECT_NEAR(c.at(bi * m * n + i), ref.at(i), 1e-4F);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTransposeCombos, BmmTransposeCase,
+                         ::testing::Combine(::testing::Bool(), ::testing::Bool()));
+
+class BmmGradCase : public ::testing::TestWithParam<std::tuple<bool, bool>> {};
+
+TEST_P(BmmGradCase, GradCheck) {
+  const auto [trans_a, trans_b] = GetParam();
+  util::Rng rng(5);
+  const std::int64_t batch = 2, m = 3, k = 2, n = 4;
+  Tensor a = trans_a ? Tensor::randn({batch, k, m}, rng)
+                     : Tensor::randn({batch, m, k}, rng);
+  Tensor b = trans_b ? Tensor::randn({batch, n, k}, rng)
+                     : Tensor::randn({batch, k, n}, rng);
+  saga::testing::check_gradients(
+      [&, ta = trans_a, tb = trans_b]() { return sum(bmm(a, b, ta, tb)); },
+      {a, b});
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTransposeCombos, BmmGradCase,
+                         ::testing::Combine(::testing::Bool(), ::testing::Bool()));
+
+TEST(Bmm, RejectsBatchMismatch) {
+  EXPECT_THROW(bmm(Tensor::zeros({2, 3, 4}), Tensor::zeros({3, 4, 5})),
+               std::invalid_argument);
+}
+
+TEST(MatmulKernel, AccumulateAddsIntoOutput) {
+  const std::vector<float> a{1.0F, 2.0F};      // [1,2]
+  const std::vector<float> b{3.0F, 4.0F};      // [2,1]
+  std::vector<float> c{10.0F};                 // [1,1]
+  matmul_kernel(a.data(), b.data(), c.data(), 1, 1, 2, false, false,
+                /*accumulate=*/true);
+  EXPECT_NEAR(c[0], 10.0F + 11.0F, 1e-5F);
+}
+
+}  // namespace
+}  // namespace saga

@@ -1,0 +1,77 @@
+#include <gtest/gtest.h>
+
+#include "train/metrics.hpp"
+
+namespace saga::train {
+namespace {
+
+TEST(ConfusionMatrix, AccuracySimple) {
+  ConfusionMatrix cm(2);
+  cm.add(0, 0);
+  cm.add(0, 0);
+  cm.add(1, 1);
+  cm.add(1, 0);
+  EXPECT_DOUBLE_EQ(cm.accuracy(), 0.75);
+  EXPECT_EQ(cm.total(), 4);
+  EXPECT_EQ(cm.count(1, 0), 1);
+}
+
+TEST(ConfusionMatrix, MacroF1HandComputed) {
+  // Class 0: tp=2, fp=1, fn=0 -> p=2/3, r=1, f1=0.8
+  // Class 1: tp=1, fp=0, fn=1 -> p=1, r=0.5, f1=2/3
+  ConfusionMatrix cm(2);
+  cm.add(0, 0);
+  cm.add(0, 0);
+  cm.add(1, 1);
+  cm.add(1, 0);
+  EXPECT_NEAR(cm.macro_f1(), (0.8 + 2.0 / 3.0) / 2.0, 1e-9);
+}
+
+TEST(ConfusionMatrix, PerfectPredictions) {
+  ConfusionMatrix cm(3);
+  for (int c = 0; c < 3; ++c) {
+    cm.add(c, c);
+    cm.add(c, c);
+  }
+  EXPECT_DOUBLE_EQ(cm.accuracy(), 1.0);
+  EXPECT_DOUBLE_EQ(cm.macro_f1(), 1.0);
+}
+
+TEST(ConfusionMatrix, AbsentClassContributesZeroButDividesByNc) {
+  // Class 2 never appears in truth or predictions: per the paper's formula
+  // F1 averages over all Nc classes.
+  ConfusionMatrix cm(3);
+  cm.add(0, 0);
+  cm.add(1, 1);
+  EXPECT_NEAR(cm.macro_f1(), 2.0 / 3.0, 1e-9);
+}
+
+TEST(ConfusionMatrix, EmptyIsZero) {
+  ConfusionMatrix cm(4);
+  EXPECT_EQ(cm.accuracy(), 0.0);
+  EXPECT_EQ(cm.macro_f1(), 0.0);
+  EXPECT_EQ(cm.metrics().num_samples, 0);
+}
+
+TEST(ConfusionMatrix, MergeAccumulates) {
+  ConfusionMatrix a(2);
+  a.add(0, 0);
+  ConfusionMatrix b(2);
+  b.add(1, 0);
+  b.add(1, 1);
+  a.merge(b);
+  EXPECT_EQ(a.total(), 3);
+  EXPECT_NEAR(a.accuracy(), 2.0 / 3.0, 1e-9);
+  ConfusionMatrix c(3);
+  EXPECT_THROW(a.merge(c), std::invalid_argument);
+}
+
+TEST(ConfusionMatrix, ValidatesIndices) {
+  ConfusionMatrix cm(2);
+  EXPECT_THROW(cm.add(2, 0), std::out_of_range);
+  EXPECT_THROW(cm.add(0, -1), std::out_of_range);
+  EXPECT_THROW(ConfusionMatrix(0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace saga::train

@@ -1,0 +1,97 @@
+#include <gtest/gtest.h>
+
+#include "core/pipeline.hpp"
+#include "data/synthetic.hpp"
+#include "tensor/ops.hpp"
+
+namespace saga {
+namespace {
+
+TEST(Profiles, PaperProfileMatchesSection7A1) {
+  const auto config = core::paper_profile();
+  EXPECT_EQ(config.backbone.hidden_dim, 72);
+  EXPECT_EQ(config.backbone.num_blocks, 4);
+  EXPECT_EQ(config.backbone.max_seq_len, 120);
+  EXPECT_EQ(config.pretrain.epochs, 50);
+  EXPECT_EQ(config.finetune.epochs, 50);
+  EXPECT_DOUBLE_EQ(config.pretrain.learning_rate, 1e-3);
+  EXPECT_DOUBLE_EQ(config.finetune.backbone_lr_scale, 1.0);
+  EXPECT_TRUE(config.finetune.train_backbone);
+}
+
+TEST(Profiles, FastProfileShrinksBudgetsOnly) {
+  const auto fast = core::fast_profile();
+  const auto paper = core::paper_profile();
+  EXPECT_LT(fast.backbone.hidden_dim, paper.backbone.hidden_dim);
+  EXPECT_LT(fast.pretrain.epochs, paper.pretrain.epochs);
+  EXPECT_LT(fast.lws.budget, paper.lws.budget);
+  // Same algorithms/structure: split fractions and masking levels unchanged.
+  EXPECT_DOUBLE_EQ(fast.train_fraction, paper.train_fraction);
+  EXPECT_DOUBLE_EQ(fast.validation_fraction, paper.validation_fraction);
+  EXPECT_EQ(fast.backbone.hidden_dim % fast.backbone.num_heads, 0);
+}
+
+TEST(Pipeline, AdaptsModelToDataset) {
+  data::SyntheticSpec spec = data::shoaib_like(60);
+  spec.window_length = 40;
+  const auto dataset = data::generate_dataset(spec);
+  core::PipelineConfig config = core::fast_profile();
+  core::Pipeline pipeline(dataset, data::Task::kDevicePlacement, config);
+  EXPECT_EQ(pipeline.config().backbone.input_channels, 9);
+  EXPECT_EQ(pipeline.config().backbone.max_seq_len, 40);
+  EXPECT_EQ(pipeline.config().classifier.num_classes, dataset.num_placements);
+}
+
+TEST(Pipeline, SplitFollowsConfiguredFractions) {
+  data::SyntheticSpec spec = data::hhar_like(100);
+  spec.window_length = 30;
+  const auto dataset = data::generate_dataset(spec);
+  core::Pipeline pipeline(dataset, data::Task::kActivityRecognition,
+                          core::fast_profile());
+  EXPECT_NEAR(static_cast<double>(pipeline.split().train.size()), 60.0, 1.0);
+  EXPECT_NEAR(static_cast<double>(pipeline.split().validation.size()), 20.0, 1.0);
+  EXPECT_NEAR(static_cast<double>(pipeline.split().test.size()), 20.0, 1.0);
+}
+
+TEST(Pipeline, RejectsBadLabellingRate) {
+  data::SyntheticSpec spec = data::hhar_like(60);
+  spec.window_length = 30;
+  const auto dataset = data::generate_dataset(spec);
+  core::Pipeline pipeline(dataset, data::Task::kActivityRecognition,
+                          core::fast_profile());
+  EXPECT_THROW(pipeline.run(core::Method::kNoPretrain, 0.0), std::invalid_argument);
+  EXPECT_THROW(pipeline.run(core::Method::kNoPretrain, 1.5), std::invalid_argument);
+}
+
+// Broadcast-shape sweep: right-aligned semantics across representative rank
+// combinations used throughout the model code.
+struct BroadcastCase {
+  Shape a;
+  Shape b;
+  Shape expected;
+};
+
+class BroadcastSweep : public ::testing::TestWithParam<BroadcastCase> {};
+
+TEST_P(BroadcastSweep, ShapeAndValueConsistency) {
+  const auto& param = GetParam();
+  Tensor a = Tensor::full(param.a, 2.0F);
+  Tensor b = Tensor::full(param.b, 3.0F);
+  Tensor out = add(a, b);
+  EXPECT_EQ(out.shape(), param.expected);
+  for (std::int64_t i = 0; i < out.numel(); ++i) EXPECT_EQ(out.at(i), 5.0F);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RankCombos, BroadcastSweep,
+    ::testing::Values(BroadcastCase{{4}, {4}, {4}},
+                      BroadcastCase{{2, 4}, {4}, {2, 4}},
+                      BroadcastCase{{2, 4}, {1, 4}, {2, 4}},
+                      BroadcastCase{{2, 1}, {1, 4}, {2, 4}},
+                      BroadcastCase{{3, 2, 4}, {4}, {3, 2, 4}},
+                      BroadcastCase{{3, 2, 4}, {2, 4}, {3, 2, 4}},
+                      BroadcastCase{{3, 1, 4}, {1, 2, 1}, {3, 2, 4}},
+                      BroadcastCase{{1}, {2, 3}, {2, 3}}));
+
+}  // namespace
+}  // namespace saga

@@ -1,0 +1,166 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "data/preprocess.hpp"
+
+namespace saga::data {
+namespace {
+
+Recording ramp_recording(std::int64_t length, std::int64_t channels,
+                         double rate) {
+  Recording r;
+  r.channels = channels;
+  r.sample_rate_hz = rate;
+  r.values.resize(static_cast<std::size_t>(length * channels));
+  for (std::int64_t t = 0; t < length; ++t) {
+    for (std::int64_t c = 0; c < channels; ++c) {
+      r.values[static_cast<std::size_t>(t * channels + c)] =
+          static_cast<float>(t * 10 + c);
+    }
+  }
+  return r;
+}
+
+TEST(Downsample, FactorAndLength) {
+  const Recording r = ramp_recording(1000, 6, 100.0);
+  const Recording d = downsample(r, 20.0);
+  EXPECT_EQ(d.length(), 200);
+  EXPECT_DOUBLE_EQ(d.sample_rate_hz, 20.0);
+  EXPECT_EQ(d.channels, 6);
+}
+
+TEST(Downsample, BlockAveragesValues) {
+  Recording r;
+  r.channels = 1;
+  r.sample_rate_hz = 40.0;
+  r.values = {0.0F, 2.0F, 4.0F, 6.0F};  // factor 2 -> means {1, 5}
+  const Recording d = downsample(r, 20.0);
+  ASSERT_EQ(d.length(), 2);
+  EXPECT_FLOAT_EQ(d.values[0], 1.0F);
+  EXPECT_FLOAT_EQ(d.values[1], 5.0F);
+}
+
+TEST(Downsample, NoOpWhenAlreadyAtTarget) {
+  const Recording r = ramp_recording(50, 3, 20.0);
+  const Recording d = downsample(r, 20.0);
+  EXPECT_EQ(d.values, r.values);
+}
+
+TEST(Downsample, AveragingSuppressesNyquistNoise) {
+  // 50 Hz alternating spike on top of a constant; averaging by factor 5
+  // (100 -> 20 Hz) must shrink its amplitude.
+  Recording r;
+  r.channels = 1;
+  r.sample_rate_hz = 100.0;
+  for (int t = 0; t < 500; ++t) {
+    r.values.push_back(1.0F + (t % 2 == 0 ? 0.5F : -0.5F));
+  }
+  const Recording d = downsample(r, 20.0);
+  for (const float v : d.values) EXPECT_NEAR(v, 1.0F, 0.11F);
+}
+
+TEST(Downsample, ValidatesArguments) {
+  const Recording r = ramp_recording(10, 2, 100.0);
+  EXPECT_THROW(downsample(r, 0.0), std::invalid_argument);
+  Recording bad = r;
+  bad.sample_rate_hz = -1.0;
+  EXPECT_THROW(downsample(bad, 20.0), std::invalid_argument);
+}
+
+TEST(NormalizeAccelerometer, DividesByG) {
+  Recording r;
+  r.channels = 6;
+  r.sample_rate_hz = 20.0;
+  r.values = {9.80665F, 0.0F, 19.6133F, 7.0F, 8.0F, 9.0F};
+  normalize_accelerometer(r);
+  EXPECT_NEAR(r.values[0], 1.0F, 1e-5F);
+  EXPECT_NEAR(r.values[2], 2.0F, 1e-4F);
+  EXPECT_FLOAT_EQ(r.values[3], 7.0F);  // gyro untouched
+}
+
+TEST(NormalizeMagnetometer, UnitNormPerStep) {
+  Recording r;
+  r.channels = 9;
+  r.sample_rate_hz = 20.0;
+  r.values.assign(18, 0.0F);
+  r.values[6] = 3.0F;
+  r.values[7] = 4.0F;   // norm 5
+  r.values[15] = 0.0F;  // second step: zero vector stays zero
+  normalize_magnetometer(r);
+  EXPECT_NEAR(r.values[6], 0.6F, 1e-6F);
+  EXPECT_NEAR(r.values[7], 0.8F, 1e-6F);
+  EXPECT_EQ(r.values[15], 0.0F);
+}
+
+TEST(NormalizeMagnetometer, ValidatesOffset) {
+  Recording r = ramp_recording(5, 6, 20.0);
+  EXPECT_THROW(normalize_magnetometer(r, 6), std::invalid_argument);
+}
+
+TEST(SliceWindows, NonOverlapping) {
+  const Recording r = ramp_recording(250, 6, 20.0);
+  const auto windows = slice_windows(r, 120, 120, 2, 5);
+  ASSERT_EQ(windows.size(), 2U);  // 250 / 120 -> 2 full windows
+  EXPECT_EQ(windows[0].values.size(), 120U * 6U);
+  EXPECT_EQ(windows[0].activity, 2);
+  EXPECT_EQ(windows[0].user, 5);
+  // Second window starts at sample 120.
+  EXPECT_FLOAT_EQ(windows[1].values[0], 1200.0F);
+}
+
+TEST(SliceWindows, OverlappingStride) {
+  const Recording r = ramp_recording(100, 3, 20.0);
+  const auto windows = slice_windows(r, 40, 20, 0, 0);
+  EXPECT_EQ(windows.size(), 4U);  // starts at 0, 20, 40, 60
+}
+
+TEST(SliceWindows, TooShortRecording) {
+  const Recording r = ramp_recording(30, 3, 20.0);
+  EXPECT_TRUE(slice_windows(r, 120, 120, 0, 0).empty());
+  EXPECT_THROW(slice_windows(r, 0, 10, 0, 0), std::invalid_argument);
+}
+
+TEST(IngestRecording, FullPipelineMatchesPaperSteps) {
+  Dataset dataset;
+  dataset.window_length = 120;
+  dataset.channels = 6;
+  dataset.num_activities = 6;
+  dataset.num_users = 9;
+  dataset.num_placements = 1;
+
+  // 100 Hz recording, 13 seconds -> 20 Hz, 260 samples -> 2 windows.
+  Recording r;
+  r.channels = 6;
+  r.sample_rate_hz = 100.0;
+  const std::int64_t length = 1300;
+  r.values.resize(static_cast<std::size_t>(length * 6));
+  for (std::int64_t t = 0; t < length; ++t) {
+    for (std::int64_t c = 0; c < 6; ++c) {
+      r.values[static_cast<std::size_t>(t * 6 + c)] = static_cast<float>(
+          9.80665 * std::sin(2.0 * std::numbers::pi * double(t) / 50.0 + double(c)));
+    }
+  }
+  const auto added = ingest_recording(dataset, r, 20.0, 3, 7);
+  EXPECT_EQ(added, 2);
+  ASSERT_EQ(dataset.samples.size(), 2U);
+  EXPECT_EQ(dataset.samples[0].activity, 3);
+  EXPECT_EQ(dataset.samples[0].user, 7);
+  // Normalized acc values are in g-units: bounded by ~1.
+  for (const auto& window : dataset.samples) {
+    for (std::size_t i = 0; i < window.values.size(); i += 6) {
+      EXPECT_LE(std::abs(window.values[i]), 1.05F);
+    }
+  }
+}
+
+TEST(IngestRecording, RejectsChannelMismatch) {
+  Dataset dataset;
+  dataset.channels = 9;
+  Recording r = ramp_recording(200, 6, 100.0);
+  EXPECT_THROW(ingest_recording(dataset, r, 20.0, 0, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace saga::data

@@ -1,0 +1,136 @@
+#include <gtest/gtest.h>
+
+#include "gradcheck.hpp"
+#include "tensor/reduce.hpp"
+#include "tensor/shape_ops.hpp"
+#include "tensor/ops.hpp"
+#include "util/rng.hpp"
+
+namespace saga {
+namespace {
+
+TEST(Reshape, PreservesDataRowMajor) {
+  Tensor a = Tensor::from_data({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor b = reshape(a, {3, 2});
+  EXPECT_EQ(b.at(0), 1.0F);
+  EXPECT_EQ(b.at(5), 6.0F);
+  EXPECT_EQ(b.shape(), (Shape{3, 2}));
+}
+
+TEST(Reshape, InfersMinusOne) {
+  Tensor a = Tensor::zeros({4, 6});
+  EXPECT_EQ(reshape(a, {-1, 3}).shape(), (Shape{8, 3}));
+  EXPECT_EQ(reshape(a, {2, -1}).shape(), (Shape{2, 12}));
+  EXPECT_THROW(reshape(a, {-1, -1}), std::invalid_argument);
+  EXPECT_THROW(reshape(a, {5, -1}), std::invalid_argument);
+}
+
+TEST(Reshape, RejectsWrongCount) {
+  EXPECT_THROW(reshape(Tensor::zeros({4}), {3}), std::invalid_argument);
+}
+
+TEST(Slice, ExtractsRange) {
+  Tensor a = Tensor::from_data({2, 4}, {0, 1, 2, 3, 4, 5, 6, 7});
+  Tensor s = slice(a, 1, 1, 2);
+  EXPECT_EQ(s.shape(), (Shape{2, 2}));
+  EXPECT_EQ(s.at(0), 1.0F);
+  EXPECT_EQ(s.at(3), 6.0F);
+}
+
+TEST(Slice, SupportsNegativeDim) {
+  Tensor a = Tensor::from_data({2, 4}, {0, 1, 2, 3, 4, 5, 6, 7});
+  Tensor s = slice(a, -1, 0, 1);
+  EXPECT_EQ(s.shape(), (Shape{2, 1}));
+  EXPECT_EQ(s.at(1), 4.0F);
+}
+
+TEST(Slice, RejectsOutOfRange) {
+  Tensor a = Tensor::zeros({3, 3});
+  EXPECT_THROW(slice(a, 0, 2, 2), std::out_of_range);
+  EXPECT_THROW(slice(a, 1, -1, 1), std::out_of_range);
+}
+
+TEST(Select, DropsDimension) {
+  Tensor a = Tensor::from_data({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor row = select(a, 0, 1);
+  EXPECT_EQ(row.shape(), (Shape{3}));
+  EXPECT_EQ(row.at(0), 4.0F);
+  Tensor col = select(a, 1, 2);
+  EXPECT_EQ(col.shape(), (Shape{2}));
+  EXPECT_EQ(col.at(1), 6.0F);
+}
+
+TEST(Concat, JoinsAlongDim) {
+  Tensor a = Tensor::from_data({1, 2}, {1, 2});
+  Tensor b = Tensor::from_data({1, 2}, {3, 4});
+  Tensor c0 = concat({a, b}, 0);
+  EXPECT_EQ(c0.shape(), (Shape{2, 2}));
+  EXPECT_EQ(c0.at(2), 3.0F);
+  Tensor c1 = concat({a, b}, 1);
+  EXPECT_EQ(c1.shape(), (Shape{1, 4}));
+  EXPECT_EQ(c1.at(2), 3.0F);
+}
+
+TEST(Concat, RejectsMismatchedShapes) {
+  EXPECT_THROW(concat({Tensor::zeros({2, 2}), Tensor::zeros({2, 3})}, 0),
+               std::invalid_argument);
+  EXPECT_THROW(concat({}, 0), std::invalid_argument);
+}
+
+TEST(TransposeLast2, SwapsDims) {
+  Tensor a = Tensor::from_data({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor t = transpose_last2(a);
+  EXPECT_EQ(t.shape(), (Shape{3, 2}));
+  EXPECT_EQ(t.at(0), 1.0F);
+  EXPECT_EQ(t.at(1), 4.0F);
+  EXPECT_EQ(t.at(2), 2.0F);
+}
+
+TEST(TransposeLast2, BatchedIsPerSlice) {
+  util::Rng rng(2);
+  Tensor a = Tensor::randn({4, 3, 5}, rng);
+  Tensor t = transpose_last2(a);
+  EXPECT_EQ(t.shape(), (Shape{4, 5, 3}));
+  // spot check
+  EXPECT_EQ(t.at(1 * 15 + 2 * 3 + 0), a.at(1 * 15 + 0 * 5 + 2));
+}
+
+TEST(Stack, AddsLeadingDim) {
+  Tensor a = Tensor::from_data({2}, {1, 2});
+  Tensor b = Tensor::from_data({2}, {3, 4});
+  Tensor s = stack({a, b});
+  EXPECT_EQ(s.shape(), (Shape{2, 2}));
+  EXPECT_EQ(s.at(3), 4.0F);
+}
+
+TEST(ShapeOpsGrad, Reshape) {
+  util::Rng rng(3);
+  Tensor a = Tensor::randn({2, 6}, rng);
+  saga::testing::check_gradients(
+      [&]() { return sum(mul(reshape(a, {3, 4}), reshape(a, {3, 4}))); }, {a});
+}
+
+TEST(ShapeOpsGrad, SliceScattersIntoSource) {
+  util::Rng rng(4);
+  Tensor a = Tensor::randn({3, 5}, rng);
+  saga::testing::check_gradients(
+      [&]() { return sum(square(slice(a, 1, 1, 3))); }, {a});
+}
+
+TEST(ShapeOpsGrad, Concat) {
+  util::Rng rng(5);
+  Tensor a = Tensor::randn({2, 2}, rng);
+  Tensor b = Tensor::randn({2, 2}, rng);
+  saga::testing::check_gradients(
+      [&]() { return sum(square(concat({a, b}, 1))); }, {a, b});
+}
+
+TEST(ShapeOpsGrad, TransposeLast2) {
+  util::Rng rng(6);
+  Tensor a = Tensor::randn({2, 3, 4}, rng);
+  saga::testing::check_gradients(
+      [&]() { return sum(square(transpose_last2(a))); }, {a});
+}
+
+}  // namespace
+}  // namespace saga

@@ -1,0 +1,159 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <set>
+#include <thread>
+
+#include "util/env.hpp"
+#include "util/rng.hpp"
+#include "util/serialize.hpp"
+#include "util/table.hpp"
+#include "util/thread_pool.hpp"
+
+namespace saga::util {
+namespace {
+
+TEST(SeedSplitter, ProducesDistinctStreams) {
+  SeedSplitter splitter(42);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) EXPECT_TRUE(seen.insert(splitter.next()).second);
+}
+
+TEST(SeedSplitter, DeterministicForSameRoot) {
+  SeedSplitter a(7);
+  SeedSplitter b(7);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, UniformWithinBounds) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform(-2.0, 3.0);
+    EXPECT_GE(v, -2.0);
+    EXPECT_LT(v, 3.0);
+  }
+}
+
+TEST(Rng, UniformIntInclusiveBounds) {
+  Rng rng(2);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.uniform_int(0, 4);
+    EXPECT_GE(v, 0);
+    EXPECT_LE(v, 4);
+    saw_lo |= v == 0;
+    saw_hi |= v == 4;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, GeometricClippedRespectsMax) {
+  Rng rng(3);
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.geometric_clipped(0.2, 10);
+    EXPECT_GE(v, 1);
+    EXPECT_LE(v, 10);
+  }
+}
+
+TEST(Rng, GeometricMeanRoughlyMatches) {
+  Rng rng(4);
+  double total = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    total += static_cast<double>(rng.geometric_clipped(0.5, 1000));
+  }
+  EXPECT_NEAR(total / n, 2.0, 0.1);  // mean of Geo(0.5) = 1/p = 2
+}
+
+TEST(Rng, PermutationIsAPermutation) {
+  Rng rng(5);
+  const auto p = rng.permutation(50);
+  std::set<std::size_t> unique(p.begin(), p.end());
+  EXPECT_EQ(unique.size(), 50U);
+  EXPECT_EQ(*unique.begin(), 0U);
+  EXPECT_EQ(*unique.rbegin(), 49U);
+}
+
+TEST(FastRng, Uniform01InRange) {
+  FastRng rng(9);
+  for (int i = 0; i < 10000; ++i) {
+    const float v = rng.uniform01();
+    EXPECT_GE(v, 0.0F);
+    EXPECT_LT(v, 1.0F);
+  }
+}
+
+TEST(ThreadPool, ParallelForCoversRange) {
+  std::vector<int> hits(1000, 0);
+  parallel_for(0, hits.size(), [&](std::size_t i) { hits[i] += 1; });
+  for (const int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(ThreadPool, NestedParallelForDoesNotDeadlock) {
+  std::atomic<int> count{0};
+  parallel_for(0, 8, [&](std::size_t) {
+    parallel_for(0, 8, [&](std::size_t) { count.fetch_add(1); });
+  });
+  EXPECT_EQ(count.load(), 64);
+}
+
+TEST(ThreadPool, PropagatesExceptions) {
+  EXPECT_THROW(
+      ThreadPool::global().parallel_for(
+          0, 100, [](std::size_t i) { if (i == 50) throw std::runtime_error("boom"); }),
+      std::runtime_error);
+}
+
+TEST(Serialize, RoundTripsBlobs) {
+  const std::string path = std::filesystem::temp_directory_path() / "saga_blobs.bin";
+  NamedBlobs blobs;
+  blobs["a.weight"] = {1.0F, 2.5F, -3.0F};
+  blobs["b.bias"] = {};
+  blobs["c"] = std::vector<float>(1000, 0.25F);
+  save_blobs(path, blobs);
+  const auto loaded = load_blobs(path);
+  EXPECT_EQ(loaded, blobs);
+  std::filesystem::remove(path);
+}
+
+TEST(Serialize, RejectsCorruptMagic) {
+  const std::string path = std::filesystem::temp_directory_path() / "saga_bad.bin";
+  {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    std::fputs("NOPE", f);
+    std::fclose(f);
+  }
+  EXPECT_THROW(load_blobs(path), std::runtime_error);
+  std::filesystem::remove(path);
+}
+
+TEST(Table, FormatsAlignedRows) {
+  Table table({"name", "value"});
+  table.add_row({"alpha", "1"});
+  table.add_row({"b", "22.5"});
+  const std::string out = table.to_string();
+  EXPECT_NE(out.find("| alpha | 1     |"), std::string::npos);
+  EXPECT_NE(out.find("| b     | 22.5  |"), std::string::npos);
+}
+
+TEST(Table, RejectsArityMismatch) {
+  Table table({"one", "two"});
+  EXPECT_THROW(table.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(Env, FallsBackWhenUnset) {
+  EXPECT_EQ(env_int("SAGA_TEST_UNSET_VAR", 42), 42);
+  EXPECT_DOUBLE_EQ(env_double("SAGA_TEST_UNSET_VAR", 1.5), 1.5);
+}
+
+TEST(Env, ParsesSetValues) {
+  ::setenv("SAGA_TEST_SET_VAR", "123", 1);
+  EXPECT_EQ(env_int("SAGA_TEST_SET_VAR", 0), 123);
+  ::unsetenv("SAGA_TEST_SET_VAR");
+}
+
+}  // namespace
+}  // namespace saga::util
