@@ -1,0 +1,11 @@
+#!/usr/bin/env bash
+# Tier-1 verification: the exact command CI, reviewers, and the ROADMAP use.
+# Run from anywhere; builds into <repo>/build.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+cmake -B build -S .
+cmake --build build -j "$(nproc)"
+cd build
+ctest --output-on-failure -j "$(nproc)"

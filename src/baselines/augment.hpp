@@ -5,6 +5,11 @@
 // states. We implement the standard complete set: 3-D rotation of each
 // sensor triad, magnitude scaling, jitter, time reversal, circular time
 // shift, and axis permutation within a triad.
+//
+// Consumes: [B, T, C] batches (C a multiple of 3 — whole sensor triads).
+// Produces: augmented batches of the same shape for clhar.hpp / tpn.hpp.
+// Per-sample work fans out over util::parallel_for with seeds derived per
+// sample, so results are independent of thread-pool size.
 #pragma once
 
 #include <cstdint>

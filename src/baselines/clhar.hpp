@@ -2,6 +2,11 @@
 // IMU windows. Two augmented views per sample; the backbone + pooling
 // projection head is trained with NT-Xent to pull views of the same window
 // together.
+//
+// Consumes: unlabelled train-split indices, like train/pretrain.hpp (the
+// drop-in interface is intentional — core::Pipeline switches on Method).
+// Produces: a pre-trained backbone mutated in place. Deterministic in
+// config.seed; single-threaded loop over internally-parallel tensor ops.
 #pragma once
 
 #include <cstdint>

@@ -3,6 +3,9 @@
 // augmentation and the model is trained to classify which transformation was
 // applied (multi-task self-supervision collapsed into one softmax head, the
 // common re-implementation).
+//
+// Consumes/produces the same interface as clhar.hpp: unlabelled indices in,
+// pre-trained backbone out, deterministic in config.seed.
 #pragma once
 
 #include <cstdint>

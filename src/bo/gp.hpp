@@ -3,6 +3,11 @@
 // RBF kernel, exact inference via Cholesky factorization (trial counts are
 // tens, so O(n^3) is negligible). Double precision throughout — this module
 // deliberately does not use the float autograd tensors.
+//
+// Consumes: (weight-vector, validation-performance) observations from LWS
+// trials. Produces: posterior mean/stddev per candidate, fed to
+// expected_improvement. fit() and predict() must not race; LWS calls them
+// from a single thread.
 #pragma once
 
 #include <cstdint>

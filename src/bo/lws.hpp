@@ -3,6 +3,13 @@
 // fine-tunes a model (the `evaluate` callback) and reports validation
 // performance; the GP performance model plus Expected Improvement pick the
 // next trial until the budget is exhausted.
+//
+// Consumes: an EvaluateFn closure (core::Pipeline wires it to a
+// reduced-budget pretrain + finetune on the validation split). Produces:
+// the best TaskWeights plus the full trial history, which
+// core::Pipeline::run passes to the final full-budget Saga pre-training.
+// Trials run sequentially (the GP conditions on every previous trial);
+// deterministic in config.seed.
 #pragma once
 
 #include <array>

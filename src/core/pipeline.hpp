@@ -11,8 +11,28 @@
 //   No-Pretrain    classifier trained from scratch on the labelled subset
 //
 // Every run is deterministic in (config.seed, method, labelling rate).
+//
+// Stage contract (what each phase consumes and produces):
+//   split      consumes the Dataset; produces a seeded 6:2:2 Split once, in
+//              the constructor — every method sees identical splits.
+//   pretrain   consumes the UNLABELLED train split ([B, T, C] windows);
+//              produces a trained backbone (labels are never read).
+//   lws        consumes a cheap evaluate() closure (fractional-budget
+//              pretrain + finetune); produces the 4-dim TaskWeights used by
+//              the final Saga pre-training run.
+//   finetune   consumes the labelled subset of the train split; produces a
+//              trained backbone+classifier pair.
+//   evaluate   consumes validation/test indices; produces train::Metrics
+//              (accuracy, macro-F1) reported in RunResult.
+//
+// Threading: Pipeline itself is single-threaded; parallelism happens inside
+// tensor ops via util::parallel_for on the process-wide util::ThreadPool
+// (see util/thread_pool.hpp). Results are independent of pool size because
+// batch work derives per-sample seeds. A Pipeline is not safe to share
+// across threads concurrently; distinct Pipeline instances are independent.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <optional>
 #include <string>

@@ -1,4 +1,22 @@
 // Umbrella header: include this to use the whole Saga library.
+//
+// Module groups, in data-flow order (see docs/ARCHITECTURE.md for the full
+// picture and the paper-concept → module map):
+//
+//   data/      datasets, preprocessing, splits, synthetic generators
+//   signal/    FFT, key points (Eqs. 1-2), main-period detection
+//   masking/   the four masking levels (sensor/point/sub-period/period)
+//   models/    LIMU-BERT backbone + reconstruction head, GRU classifier
+//   train/     pre-training, fine-tuning, metrics
+//   bo/        Gaussian Process + Expected Improvement, LWS (§VI, Alg. 1)
+//   baselines/ CL-HAR, TPN, IMU augmentations
+//   core/      Pipeline: one API over every method the paper compares
+//
+// The tensor/, nn/, and util/ layers are implementation substrate and are
+// pulled in transitively; include their headers directly when you need them.
+// Everything here is deterministic under explicit seeds, and the only
+// parallelism is util::parallel_for over a process-wide thread pool (callers
+// never need extra synchronization — see util/thread_pool.hpp).
 #pragma once
 
 #include "baselines/augment.hpp"    // IWYU pragma: export

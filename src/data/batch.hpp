@@ -1,4 +1,10 @@
 // Mini-batch assembly: packs dataset windows into [B, T, C] tensors.
+//
+// Consumes: a Dataset plus a list of sample indices (typically a Split
+// member or a subsample_labelled result). Produces: Batch{inputs [B, T, C],
+// labels, indices} ready for the training loops in train/.
+// Shuffle order is deterministic in the iterator's seed; a BatchIterator is
+// single-consumer (one training loop), not shared across threads.
 #pragma once
 
 #include <vector>

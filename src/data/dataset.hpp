@@ -3,6 +3,13 @@
 // A Dataset is a bag of fixed-length IMU windows, each carrying the labels of
 // every perception task the paper evaluates (Table III): activity recognition
 // (AR), user authentication (UA) and device placement (DP).
+//
+// This is the root of the data flow (docs/ARCHITECTURE.md): datasets come
+// from data/synthetic.hpp or data/preprocess.hpp, are split 6:2:2 by
+// split_dataset, and reach the models as [B, T, C] batches via
+// data/batch.hpp. Splits and label subsampling are deterministic in their
+// seed. A Dataset is immutable once built, so any number of threads may
+// read it concurrently.
 #pragma once
 
 #include <cstdint>

@@ -5,6 +5,12 @@
 //   3. normalize: accelerometer a* = a / g, magnetometer m* = m / ||m||.
 // The synthetic generator emits already-normalized windows; this module is
 // the ingestion path for real IMU logs.
+//
+// Consumes: a Recording ([num_samples x channels] row-major at any rate).
+// Produces: normalized fixed-length IMUWindows appended to a Dataset.
+// All functions are pure or mutate only their own arguments, so distinct
+// recordings may be ingested from parallel_for workers into distinct
+// datasets; appending into one shared Dataset must stay single-threaded.
 #pragma once
 
 #include <cstdint>

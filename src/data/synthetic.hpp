@@ -46,7 +46,9 @@ SyntheticSpec motion_like(std::int64_t num_samples = 4534);
 /// Shoaib-like: 10 users, 7 activities, 5 placements, acc+gyro+mag.
 SyntheticSpec shoaib_like(std::int64_t num_samples = 10500);
 
-/// Generates a dataset; deterministic in spec.seed.
+/// Generates a dataset; deterministic in spec.seed. Samples are synthesized
+/// in parallel via util::parallel_for with per-sample seeds, so the result
+/// is identical regardless of thread-pool size.
 Dataset generate_dataset(const SyntheticSpec& spec);
 
 }  // namespace saga::data

@@ -10,6 +10,12 @@
 //
 // Every mask returns both the masked window and a {0,1} indicator aligned
 // with it; the reconstruction loss is evaluated on indicator==1 positions.
+//
+// Consumes: raw windows ([T x C] spans) or batches ([B, T, C] tensors)
+// straight from data/. Produces: (masked copy, indicator) pairs that
+// train/pretrain.hpp feeds through the backbone + reconstruction head.
+// mask_batch fans out over util::parallel_for with a per-sample seed derived
+// from `seed`, so outputs are identical for any thread-pool size.
 #pragma once
 
 #include <array>

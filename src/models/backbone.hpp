@@ -3,6 +3,12 @@
 // hidden dimension 72. The same backbone is shared by Saga, LIMU and the
 // contrastive baselines so comparisons are architecture-controlled, exactly
 // as in the paper.
+//
+// Consumes: [B, T, C] (possibly masked) IMU batches. Produces: [B, T, H]
+// representations (encode), which ReconstructionHead maps back to [B, T, C]
+// during pre-training. A model instance carries autograd state, so one
+// instance belongs to one training thread; parallelism lives inside the
+// tensor ops (util::parallel_for under matmul/attention).
 #pragma once
 
 #include <memory>

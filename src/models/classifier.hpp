@@ -1,6 +1,10 @@
 // Downstream classifier heads. The paper uses a GRU classifier on top of the
 // backbone's output sequence (§VII-A1, following LIMU-BERT); a linear head is
 // provided for the TPN/CL-HAR baselines' auxiliary tasks.
+//
+// Consumes: [B, T, H] backbone representations. Produces: [B, num_classes]
+// logits for train/finetune.hpp's cross-entropy loss. Same threading rule
+// as the backbone: one instance per training thread.
 #pragma once
 
 #include <memory>

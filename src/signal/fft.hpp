@@ -1,6 +1,10 @@
 // Fast Fourier transform utilities (substitutes SciPy in the paper's
 // implementation). Radix-2 iterative Cooley-Tukey over complex<double>;
 // real inputs are zero-padded to the next power of two.
+//
+// Used by signal/period.hpp to find the main period of a window's energy
+// series. All functions are pure (no globals, no internal threading) and
+// safe to call concurrently.
 #pragma once
 
 #include <complex>

@@ -1,5 +1,10 @@
 // IMU data preprocessing (paper §IV-A): acceleration energy, filtered
 // peak/valley key points (Eqs. 1-2), and sub-period partitioning.
+//
+// Consumes: one window's raw samples. Produces: the energy series, the
+// filtered key points, and [start, end) sub-period ranges that
+// masking/masking.hpp masks at the sub-period level. Pure functions, safe
+// to call concurrently (mask_batch does so from pool workers).
 #pragma once
 
 #include <cstdint>

@@ -1,6 +1,10 @@
 // Main-period identification via the FFT of the energy series
 // (paper §IV-A2 and Fig. 5): T_main = 1 / f_max, with f_max the frequency of
 // the maximum-amplitude bin.
+//
+// Consumes: an energy series (signal/keypoints.hpp). Produces: the dominant
+// period in samples (0 when aperiodic — static postures), which
+// masking/masking.hpp masks at the period level. Pure and thread-safe.
 #pragma once
 
 #include <cstdint>

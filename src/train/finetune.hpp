@@ -1,6 +1,11 @@
 // Downstream fine-tuning (paper §V-B): the pre-trained backbone plus a GRU
 // classifier are trained end-to-end with cross-entropy (Eq. 8) on the few
 // labelled samples; all parameters stay trainable (§VII-A1).
+//
+// Consumes: a (pre-trained or fresh) backbone + classifier and the labelled
+// subset indices from data::subsample_labelled. Produces: both models
+// trained in place, and train::Metrics via evaluate() (runs under GradMode
+// off). Single-threaded loop, deterministic in config.seed.
 #pragma once
 
 #include <cstdint>

@@ -1,4 +1,9 @@
 // Classification metrics (paper §VII-A4): accuracy and macro-averaged F1.
+//
+// Consumes: (truth, predicted) label pairs accumulated in a ConfusionMatrix.
+// Produces: the Metrics struct reported in core::RunResult and printed by
+// every bench/example binary. Plain value types — copy freely across
+// threads; a ConfusionMatrix accumulates on one thread at a time.
 #pragma once
 
 #include <cstdint>

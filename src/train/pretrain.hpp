@@ -2,6 +2,12 @@
 //   L = w_se L_se + w_po L_po + w_sp L_sp + w_pe L_pe           (Eq. 7)
 // where each L_* is the masked-position MSE of reconstructing the original
 // window from its masked version.
+//
+// Consumes: the UNLABELLED train-split indices of a Dataset (labels are
+// never read) plus TaskWeights from bo/lws.hpp or a fixed vector. Produces:
+// a pre-trained backbone (mutated in place) and per-epoch loss curves.
+// The loop is single-threaded; mask_batch and the tensor ops parallelize
+// internally. Deterministic in config.seed.
 #pragma once
 
 #include <array>

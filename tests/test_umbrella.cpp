@@ -1,0 +1,79 @@
+// Compile-time smoke test for the umbrella header: include core/saga.hpp
+// ALONE (no other project headers) and instantiate at least one type from
+// every module it re-exports. Catches missing transitive includes that
+// per-module tests, which include their own headers, would never notice.
+#include "core/saga.hpp"
+
+#include <gtest/gtest.h>
+
+namespace saga {
+namespace {
+
+TEST(Umbrella, BaselinesTypesAreComplete) {
+  baselines::ClHarConfig clhar_config;
+  baselines::TpnConfig tpn_config;
+  EXPECT_GE(clhar_config.epochs, 0);
+  EXPECT_GE(tpn_config.epochs, 0);
+  Tensor view = baselines::random_view(Tensor::zeros({1, 9, 6}), 0);
+  EXPECT_EQ(view.shape(), Shape({1, 9, 6}));
+}
+
+TEST(Umbrella, BoTypesAreComplete) {
+  bo::GaussianProcess gp;
+  EXPECT_FALSE(gp.fitted());
+  bo::LwsConfig lws_config;
+  EXPECT_GE(lws_config.budget, 0);
+  bo::TaskWeights weights = bo::sample_simplex_weights(1);
+  double sum = 0.0;
+  for (const double w : weights) sum += w;
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(Umbrella, CoreTypesAreComplete) {
+  core::PipelineConfig config = core::fast_profile();
+  EXPECT_GT(config.train_fraction, 0.0);
+  EXPECT_FALSE(core::method_name(core::Method::kSaga).empty());
+}
+
+TEST(Umbrella, DataTypesAreComplete) {
+  data::SyntheticSpec spec = data::hhar_like(32);
+  data::Dataset dataset = data::generate_dataset(spec);
+  EXPECT_EQ(dataset.size(), 32);
+  data::Recording recording;
+  EXPECT_EQ(recording.length(), 0);
+}
+
+TEST(Umbrella, MaskingTypesAreComplete) {
+  mask::MaskingOptions options;
+  EXPECT_GT(options.span_max, 0);
+  EXPECT_FALSE(mask::level_name(mask::MaskLevel::kPoint).empty());
+}
+
+TEST(Umbrella, ModelTypesAreComplete) {
+  models::BackboneConfig backbone_config;
+  models::ClassifierConfig classifier_config;
+  EXPECT_GT(backbone_config.hidden_dim, 0);
+  EXPECT_GT(classifier_config.num_classes, 0);
+}
+
+TEST(Umbrella, SignalTypesAreComplete) {
+  signal::PeriodOptions period_options;
+  EXPECT_GT(period_options.min_period, 0);
+  signal::KeyPointOptions keypoint_options;
+  EXPECT_GT(keypoint_options.min_distance, 0);
+  const std::vector<double> flat(32, 1.0);
+  signal::MainPeriod period = signal::find_main_period(flat, period_options);
+  EXPECT_EQ(period.period, 0);
+}
+
+TEST(Umbrella, TrainTypesAreComplete) {
+  train::PretrainConfig pretrain_config;
+  train::FinetuneConfig finetune_config;
+  train::Metrics metrics;
+  EXPECT_GE(pretrain_config.epochs, 0);
+  EXPECT_GE(finetune_config.epochs, 0);
+  EXPECT_EQ(metrics.accuracy, 0.0);
+}
+
+}  // namespace
+}  // namespace saga
