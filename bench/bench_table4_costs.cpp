@@ -79,8 +79,8 @@ int main() {
     const std::int64_t params = backbone.num_parameters() + head->num_parameters();
     cost.params_kb = static_cast<double>(params) * sizeof(float) / 1024.0;
     {
-      auto blobs = backbone.state_dict();
-      for (auto& [k, v] : head->state_dict()) blobs["head." + k] = v;
+      auto blobs = backbone.state_dict("backbone");
+      blobs.merge(head->state_dict("head"));
       const std::string path =
           std::filesystem::temp_directory_path() / "saga_cost_probe.ckpt";
       util::save_blobs(path, blobs);

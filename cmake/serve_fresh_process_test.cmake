@@ -1,0 +1,33 @@
+# ctest driver for the serve deployment seam: run the ondevice_inference
+# example twice against the same SAGA_ARTIFACT path. Process 1 trains and
+# exports; process 2 is a genuinely fresh process that must reconstruct the
+# model from the artifact alone (it prints "serving without training").
+#
+# Invoked as:
+#   cmake -DBIN=<example binary> -DART=<artifact path> -P this_file
+file(REMOVE "${ART}")
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E env "SAGA_ARTIFACT=${ART}" "SAGA_EPOCHS=1" "${BIN}"
+  RESULT_VARIABLE train_rc)
+if(NOT train_rc EQUAL 0)
+  message(FATAL_ERROR "train+export process failed (rc=${train_rc})")
+endif()
+if(NOT EXISTS "${ART}")
+  message(FATAL_ERROR "export did not produce ${ART}")
+endif()
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E env "SAGA_ARTIFACT=${ART}" "${BIN}"
+  RESULT_VARIABLE serve_rc
+  OUTPUT_VARIABLE serve_out)
+if(NOT serve_rc EQUAL 0)
+  message(FATAL_ERROR "fresh-process serve failed (rc=${serve_rc})")
+endif()
+string(FIND "${serve_out}" "serving without training" served_from_artifact)
+if(served_from_artifact EQUAL -1)
+  message(FATAL_ERROR
+    "second process retrained instead of loading the artifact:\n${serve_out}")
+endif()
+
+file(REMOVE "${ART}")

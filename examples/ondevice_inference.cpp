@@ -1,79 +1,94 @@
-// Mobile-deployment story (paper §VII-D2): train briefly, checkpoint the
-// model to disk, reload it into a fresh process-like state (our stand-in for
-// the paper's ONNX Runtime export), and measure single-window inference
-// latency — the quantity Fig. 13 reports per phone.
+// Mobile-deployment story (paper §VII-D2): train a model through the
+// Pipeline, export it as a serve::Artifact in one call, reload it into a
+// fresh serve::Engine (our stand-in for the paper's ONNX Runtime export),
+// and measure single-window inference latency — the quantity Fig. 13
+// reports per phone.
+//
+// Set SAGA_ARTIFACT=/path/to/file to make the hand-off cross processes: the
+// first run trains and exports to that path (and keeps it); a second run of
+// this binary finds the file and serves it WITHOUT training — a genuinely
+// fresh process reconstructing the model from the artifact alone.
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
+#include <optional>
 
 #include "core/saga.hpp"
-#include "tensor/grad_mode.hpp"
-#include "tensor/reduce.hpp"
 #include "util/env.hpp"
 
 using namespace saga;
 using Clock = std::chrono::steady_clock;
 
 int main() {
-  std::printf("== On-device inference: checkpoint round trip + latency ==\n");
+  std::printf("== On-device inference: artifact round trip + latency ==\n");
 
-  // A small trained model (paper-size backbone; tiny training budget).
-  const data::Dataset dataset = data::generate_dataset(data::hhar_like(120));
-  models::BackboneConfig bc;
-  bc.input_channels = dataset.channels;
-  models::LimuBertBackbone backbone(bc);
-  models::ClassifierConfig cc;
-  cc.num_classes = dataset.num_classes(data::Task::kActivityRecognition);
-  models::GruClassifier classifier(cc);
-
-  std::vector<std::int64_t> labelled;
-  for (std::int64_t i = 0; i < 60; ++i) labelled.push_back(i);
-  train::FinetuneConfig ft;
-  ft.epochs = util::env_int("SAGA_EPOCHS", 2);
-  train::finetune_classifier(backbone, classifier, dataset, labelled,
-                             data::Task::kActivityRecognition, ft);
-
-  // Checkpoint and reload (deployment hand-off).
+  const char* artifact_env = std::getenv("SAGA_ARTIFACT");
   const std::string path =
-      std::filesystem::temp_directory_path() / "saga_deploy.ckpt";
-  auto blobs = backbone.state_dict();
-  for (auto& [k, v] : classifier.state_dict()) blobs["classifier." + k] = v;
-  util::save_blobs(path, blobs);
-  std::printf("checkpoint written: %s (%.0f KB)\n", path.c_str(),
-              static_cast<double>(std::filesystem::file_size(path)) / 1024.0);
+      artifact_env != nullptr
+          ? std::string(artifact_env)
+          : std::string(std::filesystem::temp_directory_path() /
+                        "saga_deploy.artifact");
 
-  models::LimuBertBackbone deployed_backbone(bc);
-  models::GruClassifier deployed_classifier(cc);
-  {
-    const auto loaded = util::load_blobs(path);
-    util::NamedBlobs backbone_blobs;
-    util::NamedBlobs classifier_blobs;
-    for (const auto& [k, v] : loaded) {
-      if (k.rfind("classifier.", 0) == 0) classifier_blobs[k.substr(11)] = v;
-      else backbone_blobs[k] = v;
+  // Reuse an existing artifact only if it actually loads; a corrupt or
+  // incompatible leftover falls back to retraining instead of aborting.
+  std::optional<serve::Artifact> artifact;
+  if (artifact_env != nullptr && std::filesystem::exists(path)) {
+    try {
+      artifact = serve::Artifact::load(path);
+    } catch (const std::exception& e) {
+      std::printf("existing artifact %s is unusable (%s) — retraining\n",
+                  path.c_str(), e.what());
     }
-    deployed_backbone.load_state_dict(backbone_blobs);
-    deployed_classifier.load_state_dict(classifier_blobs);
   }
-  std::filesystem::remove(path);
-  deployed_backbone.set_training(false);
-  deployed_classifier.set_training(false);
+
+  if (artifact) {
+    std::printf("found existing artifact %s — serving without training\n",
+                path.c_str());
+  } else {
+    // A small trained model (paper-size backbone; tiny training budget).
+    const data::Dataset dataset = data::generate_dataset(data::hhar_like(120));
+    core::PipelineConfig config = core::fast_profile();
+    config.finetune.epochs = util::env_int("SAGA_EPOCHS", 2);
+    core::Pipeline pipeline(dataset, data::Task::kActivityRecognition, config);
+    const auto run = pipeline.run(core::Method::kNoPretrain, 0.5);
+    std::printf("trained %s: test acc %.1f%%\n",
+                core::method_name(run.method).c_str(),
+                100.0 * run.test.accuracy);
+
+    // Deployment hand-off: one call to export, one to load.
+    serve::export_artifact(pipeline, path);
+    std::printf("artifact written: %s (%.0f KB)\n", path.c_str(),
+                static_cast<double>(std::filesystem::file_size(path)) / 1024.0);
+    artifact = serve::Artifact::load(path);
+  }
+
+  serve::Engine engine(std::move(*artifact));
+  if (artifact_env == nullptr) std::filesystem::remove(path);
+  std::printf("engine loaded: task=%s window=%lldx%lld classes=%lld (from %s)\n",
+              data::task_name(engine.artifact().task).c_str(),
+              static_cast<long long>(engine.artifact().window_length()),
+              static_cast<long long>(engine.artifact().channels()),
+              static_cast<long long>(engine.artifact().num_classes()),
+              engine.artifact().source.c_str());
 
   // Single-window latency, averaged over 10 runs (paper protocol).
   util::Rng rng(3);
-  const Tensor window = Tensor::randn({1, 120, 6}, rng);
-  NoGradGuard no_grad;
-  (void)deployed_classifier.forward(deployed_backbone.encode(window));  // warm-up
+  const Tensor window = Tensor::randn(
+      {engine.artifact().window_length(), engine.artifact().channels()}, rng);
+  (void)engine.predict(window.data());  // warm-up
   const auto start = Clock::now();
   for (int r = 0; r < 10; ++r) {
-    const Tensor logits =
-        deployed_classifier.forward(deployed_backbone.encode(window));
-    (void)argmax_lastdim(logits);
+    const auto prediction = engine.predict(window.data());
+    (void)prediction.label;
   }
   const double ms =
       std::chrono::duration<double, std::milli>(Clock::now() - start).count() / 10.0;
-  std::printf("single-window (1x120x6) inference: %.2f ms on this host\n", ms);
+  std::printf("single-window (1x%lldx%lld) inference: %.2f ms on this host\n",
+              static_cast<long long>(engine.artifact().window_length()),
+              static_cast<long long>(engine.artifact().channels()), ms);
   std::printf("(paper Fig. 13: <= 12 ms on all five phones; see "
-              "bench_fig13_latency for per-device scaling)\n");
+              "bench_fig13_latency for per-device scaling and "
+              "bench_serve_throughput for the batched serving path)\n");
   return 0;
 }

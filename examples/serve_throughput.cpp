@@ -1,0 +1,50 @@
+// Load generator for serve::Engine: N client threads hammer predict() with
+// independent windows and we report throughput, latency percentiles and how
+// well the dispatcher coalesced requests into micro-batches. This is the
+// interactive companion to bench_serve_throughput (which sweeps batch size).
+//
+// Knobs: SAGA_SERVE_CLIENTS (default 4), SAGA_SERVE_REQUESTS per client
+// (default 50), SAGA_SERVE_BATCH max batch size (default 16).
+#include <cstdio>
+
+#include "core/saga.hpp"
+#include "serve/loadgen.hpp"
+#include "util/env.hpp"
+
+using namespace saga;
+
+int main() {
+  const auto clients = static_cast<std::size_t>(util::env_int("SAGA_SERVE_CLIENTS", 4));
+  const auto per_client =
+      static_cast<std::size_t>(util::env_int("SAGA_SERVE_REQUESTS", 50));
+  serve::EngineConfig engine_config;
+  engine_config.max_batch_size = util::env_int("SAGA_SERVE_BATCH", 16);
+
+  std::printf("== serve::Engine load generator: %zu clients x %zu requests, "
+              "max batch %lld ==\n",
+              clients, per_client,
+              static_cast<long long>(engine_config.max_batch_size));
+
+  // A throwaway trained model: untrained weights predict garbage, but the
+  // serving cost is identical, and that is what we measure here.
+  const data::Dataset dataset = data::generate_dataset(data::hhar_like(64));
+  core::PipelineConfig config = core::fast_profile();
+  config.finetune.epochs = 1;
+  core::Pipeline pipeline(dataset, data::Task::kActivityRecognition, config);
+  (void)pipeline.run(core::Method::kNoPretrain, 0.5);
+  serve::Engine engine(serve::Artifact::from_pipeline(pipeline), engine_config);
+
+  const serve::LoadReport report =
+      serve::run_load(engine, clients, per_client, /*seed=*/100);
+  const auto stats = engine.stats();
+  std::printf("%zu predictions in %.2f s -> %.1f req/s\n",
+              report.latencies_ms.size(), report.wall_seconds,
+              report.requests_per_second());
+  std::printf("latency ms: p50 %.2f  p90 %.2f  p99 %.2f  max %.2f\n",
+              report.percentile_ms(0.50), report.percentile_ms(0.90),
+              report.percentile_ms(0.99), report.percentile_ms(1.0));
+  std::printf("dispatcher: %llu forward passes, mean batch %.2f, largest %llu\n",
+              static_cast<unsigned long long>(stats.batches), stats.mean_batch(),
+              static_cast<unsigned long long>(stats.largest_batch));
+  return 0;
+}

@@ -1,11 +1,21 @@
 #!/usr/bin/env bash
 # Tier-1 verification: the exact command CI, reviewers, and the ROADMAP use.
 # Run from anywhere; builds into <repo>/build.
+#
+#   ./scripts/check.sh            release build + full ctest suite
+#   ./scripts/check.sh --strict   same, with warnings-as-errors into
+#                                 <repo>/build-strict (the CI `strict` job)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-cmake -B build -S .
-cmake --build build -j "$(nproc)"
-cd build
+BUILD_DIR=build
+if [[ "${1:-}" == "--strict" ]]; then
+  BUILD_DIR=build-strict
+  cmake -B "$BUILD_DIR" -S . -DSAGA_WARNINGS_AS_ERRORS=ON
+else
+  cmake -B "$BUILD_DIR" -S .
+fi
+cmake --build "$BUILD_DIR" -j "$(nproc)"
+cd "$BUILD_DIR"
 ctest --output-on-failure -j "$(nproc)"

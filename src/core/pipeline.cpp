@@ -104,6 +104,14 @@ RunResult Pipeline::run_with_labelled(Method method,
   result.method = method;
   result.labelled_samples = static_cast<std::int64_t>(labelled.size());
 
+  // Snapshot a trained pair for trained()/serve export; the last capture of
+  // a run wins, which for Saga/LWS is the final full-budget cycle.
+  auto capture_trained = [&](const models::LimuBertBackbone& backbone,
+                             const models::GruClassifier& classifier) {
+    trained_ = TrainedModels{backbone.config(), classifier.config(),
+                             backbone.state_dict(), classifier.state_dict()};
+  };
+
   // Fresh models per run so methods never share initialization history.
   auto make_models = [&](std::uint64_t model_seed) {
     models::BackboneConfig backbone_config = config_.backbone;
@@ -119,8 +127,10 @@ RunResult Pipeline::run_with_labelled(Method method,
   const std::uint64_t lws_seed = seeds.next();
 
   // One full pretrain+finetune+validate cycle with given mask weights.
+  // `capture` snapshots the trained pair (skipped for throwaway LWS trials).
   auto masked_cycle = [&](const train::TaskWeights& weights, double epoch_scale,
-                          std::uint64_t cycle_seed, RunResult& out) {
+                          std::uint64_t cycle_seed, RunResult& out,
+                          bool capture = true) {
     auto [backbone, classifier] = make_models(model_seed ^ cycle_seed);
 
     train::PretrainConfig pretrain_config = config_.pretrain;
@@ -149,6 +159,7 @@ RunResult Pipeline::run_with_labelled(Method method,
     out.weights = weights;
     out.pretrain_seconds += pretrain_stats.wall_seconds;
     out.finetune_seconds += finetune_stats.wall_seconds;
+    if (capture) capture_trained(backbone, classifier);
   };
 
   if (method == Method::kSaga) {
@@ -161,7 +172,8 @@ RunResult Pipeline::run_with_labelled(Method method,
         [&](const bo::TaskWeights& w) {
           RunResult trial;
           const train::TaskWeights weights{w[0], w[1], w[2], w[3]};
-          masked_cycle(weights, config_.lws_epoch_fraction, ++trial_counter, trial);
+          masked_cycle(weights, config_.lws_epoch_fraction, ++trial_counter, trial,
+                       /*capture=*/false);
           result.pretrain_seconds += trial.pretrain_seconds;
           result.finetune_seconds += trial.finetune_seconds;
           return trial.validation.accuracy;
@@ -207,7 +219,16 @@ RunResult Pipeline::run_with_labelled(Method method,
   result.validation =
       train::evaluate(backbone, classifier, *dataset_, split_.validation, task_);
   result.test = train::evaluate(backbone, classifier, *dataset_, split_.test, task_);
+  capture_trained(backbone, classifier);
   return result;
+}
+
+const TrainedModels& Pipeline::trained() const {
+  if (!trained_) {
+    throw std::runtime_error(
+        "Pipeline::trained: no models trained yet — call run() first");
+  }
+  return *trained_;
 }
 
 train::Metrics reference_full_label_metrics(const data::Dataset& dataset,

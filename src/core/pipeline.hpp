@@ -100,6 +100,16 @@ PipelineConfig paper_profile();
 /// small LWS budget. Same algorithms, same comparisons — only budgets shrink.
 PipelineConfig fast_profile();
 
+/// Snapshot of the models a run() trained: configs plus un-namespaced
+/// state_dicts. This is what serve::Artifact::from_pipeline packages for
+/// deployment; reconstructing models from it is bit-exact.
+struct TrainedModels {
+  models::BackboneConfig backbone_config;
+  models::ClassifierConfig classifier_config;
+  util::NamedBlobs backbone_state;
+  util::NamedBlobs classifier_state;
+};
+
 struct RunResult {
   Method method = Method::kNoPretrain;
   train::Metrics validation;
@@ -126,6 +136,14 @@ class Pipeline {
 
   const data::Split& split() const noexcept { return split_; }
   const PipelineConfig& config() const noexcept { return config_; }
+  const data::Dataset& dataset() const noexcept { return *dataset_; }
+  data::Task task() const noexcept { return task_; }
+
+  /// True once run()/run_per_class() has trained at least one model pair.
+  bool has_trained() const noexcept { return trained_.has_value(); }
+  /// The models trained by the most recent run (the final full-budget cycle
+  /// for Saga/LWS); throws std::runtime_error before the first run.
+  const TrainedModels& trained() const;
 
  private:
   RunResult run_with_labelled(Method method,
@@ -136,6 +154,7 @@ class Pipeline {
   data::Task task_;
   PipelineConfig config_;
   data::Split split_;
+  std::optional<TrainedModels> trained_;
 };
 
 /// Trains the reference model of the paper's "relative accuracy" metric:

@@ -11,6 +11,7 @@
 //   bo/        Gaussian Process + Expected Improvement, LWS (§VI, Alg. 1)
 //   baselines/ CL-HAR, TPN, IMU augmentations
 //   core/      Pipeline: one API over every method the paper compares
+//   serve/     deployment: Artifact model bundles + batched inference Engine
 //
 // The tensor/, nn/, and util/ layers are implementation substrate and are
 // pulled in transitively; include their headers directly when you need them.
@@ -32,6 +33,8 @@
 #include "masking/masking.hpp"      // IWYU pragma: export
 #include "models/backbone.hpp"      // IWYU pragma: export
 #include "models/classifier.hpp"    // IWYU pragma: export
+#include "serve/artifact.hpp"       // IWYU pragma: export
+#include "serve/engine.hpp"         // IWYU pragma: export
 #include "signal/fft.hpp"           // IWYU pragma: export
 #include "signal/keypoints.hpp"     // IWYU pragma: export
 #include "signal/period.hpp"        // IWYU pragma: export

@@ -22,6 +22,10 @@ namespace saga::data {
 /// Downstream task (paper Table III).
 enum class Task { kActivityRecognition, kUserAuthentication, kDevicePlacement };
 
+/// Number of Task values; keep in sync with the enum (serialized task ids
+/// are range-checked against this).
+inline constexpr int kNumTasks = 3;
+
 std::string task_name(Task task);
 
 /// One sliced window of IMU readings, [length x channels] row-major

@@ -21,9 +21,19 @@ std::int64_t Module::num_parameters() const {
   return total;
 }
 
-util::NamedBlobs Module::state_dict() const {
+namespace {
+
+/// "classifier" and "classifier." both namespace keys as "classifier.<name>".
+std::string normalize_prefix(const std::string& prefix) {
+  if (prefix.empty() || prefix.back() == '.') return prefix;
+  return prefix + '.';
+}
+
+}  // namespace
+
+util::NamedBlobs Module::state_dict(const std::string& prefix) const {
   util::NamedBlobs blobs;
-  collect("", blobs);
+  collect(normalize_prefix(prefix), blobs);
   return blobs;
 }
 
@@ -37,8 +47,9 @@ void Module::collect(const std::string& prefix, util::NamedBlobs& out) const {
   }
 }
 
-void Module::load_state_dict(const util::NamedBlobs& blobs) {
-  assign("", blobs);
+void Module::load_state_dict(const util::NamedBlobs& blobs,
+                             const std::string& prefix) {
+  assign(normalize_prefix(prefix), blobs);
 }
 
 void Module::assign(const std::string& prefix, const util::NamedBlobs& blobs) {

@@ -28,12 +28,18 @@ class Module {
   /// Total scalar parameter count.
   std::int64_t num_parameters() const;
 
-  /// Flattened name -> values map of every parameter.
-  util::NamedBlobs state_dict() const;
+  /// Flattened name -> values map of every parameter. A non-empty
+  /// `prefix` namespaces every key as "<prefix>.<name>", so several modules
+  /// can share one checkpoint without ad-hoc string splicing (for example
+  /// backbone + classifier saved as "backbone.*" / "classifier.*").
+  util::NamedBlobs state_dict(const std::string& prefix = {}) const;
 
   /// Loads values into existing parameters; throws on missing names or size
   /// mismatches (strict, like torch's load_state_dict(strict=True)).
-  void load_state_dict(const util::NamedBlobs& blobs);
+  /// `prefix` must match the one used at save time; keys outside the prefix
+  /// are ignored, so one blob map can feed several modules.
+  void load_state_dict(const util::NamedBlobs& blobs,
+                       const std::string& prefix = {});
 
   /// Zeroes gradients of all parameters.
   void zero_grad();
@@ -44,6 +50,13 @@ class Module {
 
  protected:
   Module() = default;
+  // Copy/move are protected-defaulted (C++ Core Guidelines C.67): concrete
+  // leaf classes are freely copyable/movable values (parameters are shared
+  // handles), while polymorphic slicing through Module& is prevented.
+  Module(const Module&) = default;
+  Module& operator=(const Module&) = default;
+  Module(Module&&) = default;
+  Module& operator=(Module&&) = default;
 
   /// Registers a parameter; `tensor` must require grad.
   Tensor& register_parameter(std::string name, Tensor tensor);

@@ -1,0 +1,272 @@
+#include "serve/artifact.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+#include <utility>
+
+namespace saga::serve {
+
+namespace {
+
+constexpr const char* kFormat = "saga.artifact";
+constexpr std::int64_t kArtifactVersion = 1;
+
+/// Shortest round-trippable decimal form (std::to_string truncates to six
+/// fixed decimals, which would silently alter stored configs).
+std::string fmt_double(double value) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  return buffer;
+}
+
+/// Splits "prefix.key" blobs out of `blobs` with the prefix removed, moving
+/// the weight vectors (load-path blobs hold full models; no copies).
+util::NamedBlobs take_namespace(util::NamedBlobs& blobs,
+                                const std::string& prefix) {
+  util::NamedBlobs out;
+  const std::string full = prefix + '.';
+  for (auto& [key, values] : blobs) {
+    if (key.size() > full.size() && key.compare(0, full.size(), full) == 0) {
+      out.emplace(key.substr(full.size()), std::move(values));
+    }
+  }
+  return out;
+}
+
+/// Shared normalization-stat contract (set_normalization and load-time
+/// validate use the same rules): returns an error message, or empty when
+/// the stats are well-formed. `allow_empty` covers artifacts with no stats.
+std::string norm_stats_error(const std::vector<float>& mean,
+                             const std::vector<float>& scale,
+                             std::int64_t channels, bool allow_empty) {
+  if (mean.size() != scale.size()) {
+    return "normalization mean/scale lengths differ";
+  }
+  if (mean.empty()) {
+    return allow_empty ? std::string{}
+                       : "normalization stats are empty but " +
+                             std::to_string(channels) +
+                             " channel entries are required";
+  }
+  if (mean.size() != static_cast<std::size_t>(channels)) {
+    return "normalization stats have " + std::to_string(mean.size()) +
+           " channels but the backbone expects " + std::to_string(channels);
+  }
+  for (const float s : scale) {
+    if (s == 0.0F) return "normalization scale contains zero";
+  }
+  return {};
+}
+
+void validate(const Artifact& artifact, const std::string& origin) {
+  const auto& bc = artifact.backbone_config;
+  const auto& cc = artifact.classifier_config;
+  auto fail = [&](const std::string& what) {
+    throw std::runtime_error("artifact" +
+                             (origin.empty() ? "" : " (" + origin + ")") + ": " +
+                             what);
+  };
+  if (bc.input_channels <= 0 || bc.max_seq_len <= 0 || bc.hidden_dim <= 0 ||
+      bc.num_blocks <= 0 || bc.num_heads <= 0 || bc.ff_dim <= 0) {
+    fail("invalid backbone config (non-positive dimensions)");
+  }
+  if (bc.hidden_dim % bc.num_heads != 0) {
+    fail("invalid backbone config: hidden_dim " + std::to_string(bc.hidden_dim) +
+         " is not divisible by num_heads " + std::to_string(bc.num_heads));
+  }
+  if (cc.num_classes <= 0 || cc.gru_hidden <= 0 || cc.gru_layers <= 0) {
+    fail("invalid classifier config (non-positive dimensions)");
+  }
+  if (cc.input_dim != bc.hidden_dim) {
+    fail("classifier input_dim " + std::to_string(cc.input_dim) +
+         " does not match backbone hidden_dim " + std::to_string(bc.hidden_dim));
+  }
+  if (artifact.backbone_state.empty()) fail("no backbone weights");
+  if (artifact.classifier_state.empty()) fail("no classifier weights");
+
+  // Shape spot-checks that turn silent weight/config drift into clear
+  // errors before load_state_dict's per-parameter diagnostics.
+  const auto proj = artifact.backbone_state.find("input_proj.weight");
+  if (proj == artifact.backbone_state.end()) {
+    fail("backbone weights missing input_proj.weight");
+  }
+  const auto expected_proj =
+      static_cast<std::size_t>(bc.hidden_dim * bc.input_channels);
+  if (proj->second.size() != expected_proj) {
+    fail("channel count mismatch: input_proj.weight has " +
+         std::to_string(proj->second.size()) + " values but config expects " +
+         std::to_string(bc.hidden_dim) + "x" + std::to_string(bc.input_channels) +
+         " (hidden_dim x input_channels)");
+  }
+  const auto out_bias = artifact.classifier_state.find("output.bias");
+  if (out_bias == artifact.classifier_state.end()) {
+    fail("classifier weights missing output.bias");
+  }
+  if (out_bias->second.size() != static_cast<std::size_t>(cc.num_classes)) {
+    fail("class count mismatch: output.bias has " +
+         std::to_string(out_bias->second.size()) + " values but config expects " +
+         std::to_string(cc.num_classes) + " classes");
+  }
+  const std::string norm_error =
+      norm_stats_error(artifact.norm_mean, artifact.norm_scale,
+                       bc.input_channels, /*allow_empty=*/true);
+  if (!norm_error.empty()) fail(norm_error);
+}
+
+}  // namespace
+
+Artifact Artifact::from_models(const models::LimuBertBackbone& backbone,
+                               const models::GruClassifier& classifier,
+                               data::Task task, std::string source) {
+  Artifact artifact;
+  artifact.backbone_config = backbone.config();
+  artifact.classifier_config = classifier.config();
+  artifact.task = task;
+  artifact.source = std::move(source);
+  artifact.backbone_state = backbone.state_dict();
+  artifact.classifier_state = classifier.state_dict();
+  validate(artifact, "from_models");
+  return artifact;
+}
+
+Artifact Artifact::from_pipeline(const core::Pipeline& pipeline,
+                                 std::string source) {
+  const core::TrainedModels& trained = pipeline.trained();
+  Artifact artifact;
+  artifact.backbone_config = trained.backbone_config;
+  artifact.classifier_config = trained.classifier_config;
+  artifact.task = pipeline.task();
+  artifact.source = source.empty()
+                        ? pipeline.dataset().name + "/" +
+                              data::task_name(pipeline.task())
+                        : std::move(source);
+  artifact.backbone_state = trained.backbone_state;
+  artifact.classifier_state = trained.classifier_state;
+  validate(artifact, "from_pipeline");
+  return artifact;
+}
+
+void Artifact::set_normalization(std::vector<float> mean,
+                                 std::vector<float> scale) {
+  // Validate before mutating so a failed call leaves the artifact intact.
+  const std::string error = norm_stats_error(
+      mean, scale, backbone_config.input_channels, /*allow_empty=*/false);
+  if (!error.empty()) {
+    throw std::runtime_error("artifact (set_normalization): " + error);
+  }
+  norm_mean = std::move(mean);
+  norm_scale = std::move(scale);
+}
+
+void Artifact::save(const std::string& path) const {
+  validate(*this, "save");
+  util::Manifest manifest;
+  auto& meta = manifest.metadata;
+  meta["format"] = kFormat;
+  meta["artifact_version"] = std::to_string(kArtifactVersion);
+  meta["task_id"] = std::to_string(static_cast<int>(task));
+  meta["task"] = data::task_name(task);
+  meta["source"] = source;
+  meta["backbone.input_channels"] = std::to_string(backbone_config.input_channels);
+  meta["backbone.max_seq_len"] = std::to_string(backbone_config.max_seq_len);
+  meta["backbone.hidden_dim"] = std::to_string(backbone_config.hidden_dim);
+  meta["backbone.num_blocks"] = std::to_string(backbone_config.num_blocks);
+  meta["backbone.num_heads"] = std::to_string(backbone_config.num_heads);
+  meta["backbone.ff_dim"] = std::to_string(backbone_config.ff_dim);
+  meta["backbone.dropout"] = fmt_double(backbone_config.dropout);
+  meta["classifier.input_dim"] = std::to_string(classifier_config.input_dim);
+  meta["classifier.gru_hidden"] = std::to_string(classifier_config.gru_hidden);
+  meta["classifier.gru_layers"] = std::to_string(classifier_config.gru_layers);
+  meta["classifier.num_classes"] = std::to_string(classifier_config.num_classes);
+
+  for (const auto& [key, values] : backbone_state) {
+    manifest.blobs["backbone." + key] = values;
+  }
+  for (const auto& [key, values] : classifier_state) {
+    manifest.blobs["classifier." + key] = values;
+  }
+  if (!norm_mean.empty()) {
+    manifest.blobs["norm.mean"] = norm_mean;
+    manifest.blobs["norm.scale"] = norm_scale;
+  }
+  util::save_manifest(path, manifest);
+}
+
+Artifact Artifact::load(const std::string& path) {
+  util::Manifest manifest = util::load_manifest(path);
+  const auto format = manifest.metadata.find("format");
+  if (format == manifest.metadata.end() || format->second != kFormat) {
+    throw std::runtime_error("artifact: " + path +
+                             " is a Saga checkpoint but not a serve artifact "
+                             "(missing format=saga.artifact metadata)");
+  }
+  const std::int64_t version = manifest.require_int("artifact_version");
+  if (version != kArtifactVersion) {
+    throw std::runtime_error("artifact: unsupported artifact_version " +
+                             std::to_string(version) + " in " + path +
+                             " (this build reads version 1)");
+  }
+
+  Artifact artifact;
+  const std::int64_t task_id = manifest.require_int("task_id");
+  if (task_id < 0 || task_id >= data::kNumTasks) {
+    throw std::runtime_error("artifact: invalid task_id " +
+                             std::to_string(task_id) + " in " + path);
+  }
+  artifact.task = static_cast<data::Task>(task_id);
+  if (const auto it = manifest.metadata.find("source");
+      it != manifest.metadata.end()) {
+    artifact.source = it->second;
+  }
+  auto& bc = artifact.backbone_config;
+  bc.input_channels = manifest.require_int("backbone.input_channels");
+  bc.max_seq_len = manifest.require_int("backbone.max_seq_len");
+  bc.hidden_dim = manifest.require_int("backbone.hidden_dim");
+  bc.num_blocks = manifest.require_int("backbone.num_blocks");
+  bc.num_heads = manifest.require_int("backbone.num_heads");
+  bc.ff_dim = manifest.require_int("backbone.ff_dim");
+  bc.dropout = manifest.require_double("backbone.dropout");
+  auto& cc = artifact.classifier_config;
+  cc.input_dim = manifest.require_int("classifier.input_dim");
+  cc.gru_hidden = manifest.require_int("classifier.gru_hidden");
+  cc.gru_layers = manifest.require_int("classifier.gru_layers");
+  cc.num_classes = manifest.require_int("classifier.num_classes");
+
+  artifact.backbone_state = take_namespace(manifest.blobs, "backbone");
+  artifact.classifier_state = take_namespace(manifest.blobs, "classifier");
+  const auto mean = manifest.blobs.find("norm.mean");
+  const auto scale = manifest.blobs.find("norm.scale");
+  if ((mean == manifest.blobs.end()) != (scale == manifest.blobs.end())) {
+    throw std::runtime_error(
+        "artifact: normalization stats are incomplete in " + path + " (" +
+        (mean != manifest.blobs.end() ? "norm.mean" : "norm.scale") +
+        " present without its counterpart)");
+  }
+  if (mean != manifest.blobs.end()) {
+    artifact.norm_mean = mean->second;
+    artifact.norm_scale = scale->second;
+  }
+  validate(artifact, path);
+  return artifact;
+}
+
+models::LimuBertBackbone Artifact::make_backbone() const {
+  models::LimuBertBackbone backbone(backbone_config);
+  backbone.load_state_dict(backbone_state);
+  backbone.set_training(false);
+  return backbone;
+}
+
+models::GruClassifier Artifact::make_classifier() const {
+  models::GruClassifier classifier(classifier_config);
+  classifier.load_state_dict(classifier_state);
+  classifier.set_training(false);
+  return classifier;
+}
+
+void export_artifact(const core::Pipeline& pipeline, const std::string& path,
+                     std::string source) {
+  Artifact::from_pipeline(pipeline, std::move(source)).save(path);
+}
+
+}  // namespace saga::serve

@@ -1,0 +1,90 @@
+// serve::Artifact — a self-describing, versioned model bundle: the deployment
+// hand-off between training (core::Pipeline) and inference (serve::Engine).
+//
+// An artifact carries everything a fresh process needs to run the model:
+// backbone + classifier weights (namespaced "backbone.*" / "classifier.*" via
+// nn::Module::state_dict prefixes), both model configs, the downstream task,
+// provenance, and optional per-channel normalization stats for raw inputs.
+// It is saved as a util::serialize v2 manifest, so a saved artifact is
+// loadable with no out-of-band knowledge of its architecture — the paper's
+// §VII-D2 on-device story (our stand-in for an ONNX export).
+//
+// Consumes: trained models (or a Pipeline's last run). Produces: a manifest
+// file, or freshly constructed models with the stored weights loaded.
+// Loading validates the bundle and throws std::runtime_error with a clear
+// message on malformed files or config/weight mismatches (wrong channel
+// count, wrong class count). An Artifact is plain data: copy it freely;
+// concurrent reads are safe, as with any value type.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/pipeline.hpp"
+#include "data/dataset.hpp"
+#include "models/backbone.hpp"
+#include "models/classifier.hpp"
+#include "util/serialize.hpp"
+
+namespace saga::serve {
+
+struct Artifact {
+  models::BackboneConfig backbone_config;
+  models::ClassifierConfig classifier_config;
+  data::Task task = data::Task::kActivityRecognition;
+  /// Free-form provenance ("hhar@Saga rate=0.2", a git sha, ...).
+  std::string source;
+  /// Optional per-channel input normalization: engines apply
+  /// (x - mean[c]) / scale[c] before inference. Empty means identity
+  /// (inputs already normalized, as with the synthetic datasets).
+  std::vector<float> norm_mean;
+  std::vector<float> norm_scale;
+  /// Model weights with un-namespaced keys (as each module's state_dict()
+  /// with no prefix produces them).
+  util::NamedBlobs backbone_state;
+  util::NamedBlobs classifier_state;
+
+  // ---- construction --------------------------------------------------
+  /// Bundles already-trained models.
+  static Artifact from_models(const models::LimuBertBackbone& backbone,
+                              const models::GruClassifier& classifier,
+                              data::Task task, std::string source = {});
+
+  /// Bundles the models trained by `pipeline`'s most recent run(); throws
+  /// std::runtime_error if the pipeline has not run yet.
+  static Artifact from_pipeline(const core::Pipeline& pipeline,
+                                std::string source = {});
+
+  /// Installs per-channel normalization stats; both vectors must have
+  /// exactly `channels()` entries and every scale must be non-zero.
+  void set_normalization(std::vector<float> mean, std::vector<float> scale);
+
+  // ---- persistence ---------------------------------------------------
+  void save(const std::string& path) const;
+  /// Loads and validates a saved artifact; throws std::runtime_error naming
+  /// the problem on truncation, bad magic, unsupported versions, missing
+  /// weights, or config/weight shape mismatches.
+  static Artifact load(const std::string& path);
+
+  // ---- consumption ---------------------------------------------------
+  /// Fresh models with the stored weights loaded, in eval mode.
+  models::LimuBertBackbone make_backbone() const;
+  models::GruClassifier make_classifier() const;
+
+  std::int64_t window_length() const noexcept {
+    return backbone_config.max_seq_len;
+  }
+  std::int64_t channels() const noexcept {
+    return backbone_config.input_channels;
+  }
+  std::int64_t num_classes() const noexcept {
+    return classifier_config.num_classes;
+  }
+};
+
+/// One-call deployment export: artifact of `pipeline`'s last run -> `path`.
+void export_artifact(const core::Pipeline& pipeline, const std::string& path,
+                     std::string source = {});
+
+}  // namespace saga::serve

@@ -1,0 +1,182 @@
+#include "serve/engine.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "tensor/grad_mode.hpp"
+#include "tensor/reduce.hpp"
+
+namespace saga::serve {
+
+namespace {
+
+/// Rejects bad configs before the constructor builds any models.
+EngineConfig checked(EngineConfig config) {
+  if (config.max_batch_size <= 0) {
+    throw std::invalid_argument("Engine: max_batch_size must be positive");
+  }
+  return config;
+}
+
+}  // namespace
+
+Engine::Engine(Artifact artifact, EngineConfig config)
+    : artifact_(std::move(artifact)),
+      config_(checked(config)),
+      backbone_(artifact_.make_backbone()),
+      classifier_(artifact_.make_classifier()) {
+  // The models now hold the only live copy of the weights; dropping the
+  // artifact's blobs halves the engine's resident model memory. Metadata
+  // (configs, task, provenance, normalization stats) stays queryable.
+  artifact_.backbone_state.clear();
+  artifact_.classifier_state.clear();
+  dispatcher_ = std::thread([this] { dispatch_loop(); });
+}
+
+Engine::~Engine() { shutdown(); }
+
+void Engine::shutdown() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  queue_cv_.notify_all();
+  // call_once makes concurrent shutdown() calls (e.g. an explicit shutdown
+  // racing the destructor) safe: one caller joins, the others block here
+  // until the join has completed.
+  std::call_once(join_once_, [this] {
+    if (dispatcher_.joinable()) dispatcher_.join();
+  });
+}
+
+Engine::Request Engine::make_request(std::span<const float> window) const {
+  const auto expected = static_cast<std::size_t>(artifact_.window_length() *
+                                                 artifact_.channels());
+  if (window.size() != expected) {
+    throw std::invalid_argument(
+        "Engine::predict: window has " + std::to_string(window.size()) +
+        " values, expected " + std::to_string(artifact_.window_length()) + "x" +
+        std::to_string(artifact_.channels()) + " = " + std::to_string(expected));
+  }
+  Request request;
+  request.window.assign(window.begin(), window.end());
+  if (config_.apply_normalization && !artifact_.norm_mean.empty()) {
+    const auto channels = static_cast<std::size_t>(artifact_.channels());
+    for (std::size_t i = 0; i < request.window.size(); ++i) {
+      const std::size_t c = i % channels;
+      request.window[i] =
+          (request.window[i] - artifact_.norm_mean[c]) / artifact_.norm_scale[c];
+    }
+  }
+  return request;
+}
+
+std::future<Prediction> Engine::enqueue(std::span<const float> window) {
+  Request request = make_request(window);
+  std::future<Prediction> result = request.result.get_future();
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_) {
+      throw std::runtime_error("Engine::predict: engine is shut down");
+    }
+    queue_.push_back(std::move(request));
+  }
+  queue_cv_.notify_one();
+  return result;
+}
+
+Prediction Engine::predict(std::span<const float> window) {
+  return enqueue(window).get();
+}
+
+std::vector<Prediction> Engine::predict_batch(
+    const std::vector<std::vector<float>>& windows) {
+  // Validate and stage every window before publishing anything, then push
+  // them all under one lock: a bad window enqueues nothing, and the
+  // dispatcher sees the whole group at once so it can coalesce up to
+  // max_batch_size instead of waking on a batch of one.
+  std::vector<Request> staged;
+  staged.reserve(windows.size());
+  for (const auto& window : windows) staged.push_back(make_request(window));
+  std::vector<std::future<Prediction>> pending;
+  pending.reserve(staged.size());
+  for (auto& request : staged) pending.push_back(request.result.get_future());
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_) {
+      throw std::runtime_error("Engine::predict_batch: engine is shut down");
+    }
+    for (auto& request : staged) queue_.push_back(std::move(request));
+  }
+  queue_cv_.notify_one();
+  std::vector<Prediction> results;
+  results.reserve(pending.size());
+  for (auto& future : pending) results.push_back(future.get());
+  return results;
+}
+
+void Engine::dispatch_loop() {
+  // The dispatcher owns all model access; gradients are never needed.
+  NoGradGuard no_grad;
+  for (;;) {
+    std::vector<Request> batch;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      queue_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and fully drained
+      const auto take = std::min<std::size_t>(
+          queue_.size(), static_cast<std::size_t>(config_.max_batch_size));
+      batch.reserve(take);
+      for (std::size_t i = 0; i < take; ++i) {
+        batch.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+      stats_.requests += batch.size();
+      stats_.batches += 1;
+      stats_.largest_batch = std::max<std::uint64_t>(stats_.largest_batch,
+                                                     batch.size());
+    }
+    run_batch(batch);
+  }
+}
+
+void Engine::run_batch(std::vector<Request>& batch) {
+  try {
+    const auto b = static_cast<std::int64_t>(batch.size());
+    const std::int64_t t = artifact_.window_length();
+    const std::int64_t c = artifact_.channels();
+    std::vector<float> packed;
+    packed.reserve(static_cast<std::size_t>(b * t * c));
+    for (const Request& request : batch) {
+      packed.insert(packed.end(), request.window.begin(), request.window.end());
+    }
+    const Tensor inputs = Tensor::from_data({b, t, c}, std::move(packed));
+    const Tensor logits = classifier_.forward(backbone_.encode(inputs));
+    const std::vector<std::int64_t> labels = argmax_lastdim(logits);
+    const auto view = logits.data();
+    const std::int64_t classes = artifact_.num_classes();
+    for (std::int64_t i = 0; i < b; ++i) {
+      Prediction prediction;
+      prediction.label = static_cast<std::int32_t>(labels[static_cast<std::size_t>(i)]);
+      const auto* row = view.data() + i * classes;
+      prediction.logits.assign(row, row + classes);
+      batch[static_cast<std::size_t>(i)].result.set_value(std::move(prediction));
+    }
+  } catch (...) {
+    for (Request& request : batch) {
+      try {
+        request.result.set_exception(std::current_exception());
+      } catch (const std::future_error&) {
+        // Promise already satisfied (failure mid-delivery); nothing to do.
+      }
+    }
+  }
+}
+
+EngineStats Engine::stats() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+}  // namespace saga::serve

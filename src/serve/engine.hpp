@@ -1,0 +1,119 @@
+// serve::Engine — a thread-safe batched inference front-end over a loaded
+// serve::Artifact: the ROADMAP's "heavy traffic" serving seam.
+//
+// Any number of client threads call predict()/predict_batch() concurrently.
+// Requests are queued and a dedicated dispatcher thread coalesces up to
+// max_batch_size pending windows into one [B, T, C] forward pass (whose
+// tensor ops fan out over util::ThreadPool via util::parallel_for), then
+// fulfils each caller's future. Batching amortizes per-call fixed costs
+// without changing results: every sample in a batch is computed by exactly
+// the same per-row arithmetic as a batch of one, so micro-batched
+// predictions are bit-identical to the single-window path (tested).
+//
+// Consumes: raw windows of window_length x channels floats (optionally
+// normalized via the artifact's per-channel stats). Produces: Prediction
+// {argmax label, logits}. The Engine owns its models; client threads never
+// touch them, which is what makes concurrent use safe. predict() blocks the
+// calling thread until its result is ready; after shutdown() (or during
+// destruction) further predict() calls throw.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "models/backbone.hpp"
+#include "models/classifier.hpp"
+#include "serve/artifact.hpp"
+
+namespace saga::serve {
+
+struct EngineConfig {
+  /// Most pending requests coalesced into one forward pass.
+  std::int64_t max_batch_size = 16;
+  /// Apply the artifact's per-channel normalization stats (when present) to
+  /// incoming windows. Disable when callers pre-normalize.
+  bool apply_normalization = true;
+};
+
+struct Prediction {
+  /// argmax over logits: the predicted class under the artifact's task.
+  std::int32_t label = 0;
+  std::vector<float> logits;  // [num_classes]
+};
+
+/// Monotonic service counters (a consistent snapshot via Engine::stats()).
+struct EngineStats {
+  std::uint64_t requests = 0;       // windows predicted
+  std::uint64_t batches = 0;        // forward passes run
+  std::uint64_t largest_batch = 0;  // max windows in one forward pass
+  double mean_batch() const noexcept {
+    return batches == 0 ? 0.0
+                        : static_cast<double>(requests) /
+                              static_cast<double>(batches);
+  }
+};
+
+class Engine {
+ public:
+  /// Takes ownership of `artifact` (models are built once, in eval mode).
+  explicit Engine(Artifact artifact, EngineConfig config = {});
+  ~Engine();
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Predicts one window (window_length x channels floats, row-major
+  /// [T x C]). Thread-safe; blocks until the result is ready. Throws
+  /// std::invalid_argument on a wrong-sized window and std::runtime_error
+  /// after shutdown.
+  Prediction predict(std::span<const float> window);
+
+  /// Predicts many windows; equivalent to (and bit-identical with) calling
+  /// predict() once per window, but enqueues them all at once so the
+  /// dispatcher can batch them together.
+  std::vector<Prediction> predict_batch(
+      const std::vector<std::vector<float>>& windows);
+
+  /// Drains pending requests, then stops the dispatcher. Idempotent; called
+  /// by the destructor.
+  void shutdown();
+
+  /// The loaded artifact's metadata (configs, task, provenance, norm stats).
+  /// Its weight blobs are released after model construction to halve
+  /// resident memory, so backbone_state/classifier_state are empty here.
+  const Artifact& artifact() const noexcept { return artifact_; }
+  const EngineConfig& config() const noexcept { return config_; }
+  EngineStats stats() const;
+
+ private:
+  struct Request {
+    std::vector<float> window;  // already normalized, size T*C
+    std::promise<Prediction> result;
+  };
+
+  Request make_request(std::span<const float> window) const;
+  std::future<Prediction> enqueue(std::span<const float> window);
+  void dispatch_loop();
+  void run_batch(std::vector<Request>& batch);
+
+  Artifact artifact_;
+  EngineConfig config_;
+  models::LimuBertBackbone backbone_;
+  models::GruClassifier classifier_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable queue_cv_;
+  std::deque<Request> queue_;
+  EngineStats stats_;
+  bool stopping_ = false;
+  std::once_flag join_once_;  // serializes concurrent shutdown() joins
+  std::thread dispatcher_;    // last member: joined before the rest dies
+};
+
+}  // namespace saga::serve

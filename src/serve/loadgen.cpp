@@ -1,0 +1,54 @@
+#include "serve/loadgen.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "tensor/tensor.hpp"
+#include "util/rng.hpp"
+
+namespace saga::serve {
+
+using Clock = std::chrono::steady_clock;
+
+double LoadReport::percentile_ms(double q) const noexcept {
+  if (latencies_ms.empty()) return 0.0;
+  const auto index = static_cast<std::size_t>(
+      q * static_cast<double>(latencies_ms.size()));
+  return latencies_ms[std::min(index, latencies_ms.size() - 1)];
+}
+
+LoadReport run_load(Engine& engine, std::size_t clients, std::size_t per_client,
+                    std::uint64_t seed) {
+  const std::int64_t values =
+      engine.artifact().window_length() * engine.artifact().channels();
+  std::vector<std::vector<double>> latencies(clients);
+  std::vector<std::thread> workers;
+  workers.reserve(clients);
+  const auto start = Clock::now();
+  for (std::size_t w = 0; w < clients; ++w) {
+    workers.emplace_back([&, w] {
+      util::Rng rng(seed + w);
+      const Tensor window = Tensor::randn({values}, rng);
+      latencies[w].reserve(per_client);
+      for (std::size_t r = 0; r < per_client; ++r) {
+        const auto t0 = Clock::now();
+        (void)engine.predict(window.data());
+        latencies[w].push_back(
+            std::chrono::duration<double, std::milli>(Clock::now() - t0).count());
+      }
+    });
+  }
+  for (auto& worker : workers) worker.join();
+
+  LoadReport report;
+  report.wall_seconds = std::chrono::duration<double>(Clock::now() - start).count();
+  for (const auto& per_thread : latencies) {
+    report.latencies_ms.insert(report.latencies_ms.end(), per_thread.begin(),
+                               per_thread.end());
+  }
+  std::sort(report.latencies_ms.begin(), report.latencies_ms.end());
+  return report;
+}
+
+}  // namespace saga::serve

@@ -1,0 +1,36 @@
+// Load generation for serve::Engine: N client threads issue M blocking
+// predict() calls each with per-thread random windows, and the per-request
+// latencies come back as one sorted sample for percentile reporting. Used by
+// examples/serve_throughput and bench/bench_serve_throughput so the two
+// report on exactly the same workload.
+//
+// Consumes: a running Engine. Produces: a LoadReport (pure data). run_load
+// blocks until every client thread has joined; the Engine outlives the call.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "serve/engine.hpp"
+
+namespace saga::serve {
+
+struct LoadReport {
+  std::vector<double> latencies_ms;  // one entry per request, sorted ascending
+  double wall_seconds = 0.0;
+
+  double requests_per_second() const noexcept {
+    return wall_seconds <= 0.0
+               ? 0.0
+               : static_cast<double>(latencies_ms.size()) / wall_seconds;
+  }
+  /// Latency at quantile `q` in [0, 1] (0 when no requests ran).
+  double percentile_ms(double q) const noexcept;
+};
+
+/// Runs `clients` threads x `per_client` predictions against `engine`; each
+/// thread uses an independent window seeded from `seed`.
+LoadReport run_load(Engine& engine, std::size_t clients, std::size_t per_client,
+                    std::uint64_t seed = 1);
+
+}  // namespace saga::serve

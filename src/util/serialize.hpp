@@ -1,6 +1,11 @@
-// Minimal binary serialization for model checkpoints: named float blobs with
-// a magic header and explicit sizes. Format (little endian):
-//   "SAGA" u32_version u64_count { u64_name_len bytes u64_float_count floats }*
+// Minimal binary serialization for model checkpoints and deployable
+// artifacts: named float blobs plus (since v2) a string metadata section,
+// behind a magic header with explicit sizes. Formats (little endian):
+//   v1: "SAGA" u32=1 u64_blob_count { u64_name_len bytes u64_float_count floats }*
+//   v2: "SAGA" u32=2 u64_meta_count { u64_key_len bytes u64_val_len bytes }*
+//              u64_blob_count { u64_name_len bytes u64_float_count floats }*
+// Readers accept both versions (a v1 file is a manifest with no metadata) and
+// reject anything newer with a clear error instead of misparsing it.
 #pragma once
 
 #include <cstdint>
@@ -12,10 +17,39 @@ namespace saga::util {
 
 using NamedBlobs = std::map<std::string, std::vector<float>>;
 
-/// Writes blobs to `path`; throws std::runtime_error on I/O failure.
+/// A self-describing checkpoint: string key/value metadata (configs, task
+/// names, format hints) alongside the named parameter blobs. The metadata
+/// section is what makes a saved model loadable without out-of-band knowledge
+/// of its architecture — see serve::Artifact for the main producer/consumer.
+struct Manifest {
+  std::map<std::string, std::string> metadata;
+  NamedBlobs blobs;
+
+  bool operator==(const Manifest&) const = default;
+
+  /// Metadata value for `key`; throws std::runtime_error naming the key when
+  /// absent (load-time validation reads required fields through this).
+  const std::string& require(const std::string& key) const;
+  /// Metadata value parsed as integer; throws on absence or garbage.
+  std::int64_t require_int(const std::string& key) const;
+  /// Metadata value parsed as double; throws on absence or garbage.
+  double require_double(const std::string& key) const;
+};
+
+/// Writes blobs to `path` in the v1 format; throws std::runtime_error on I/O
+/// failure. Kept for plain weight checkpoints with no metadata.
 void save_blobs(const std::string& path, const NamedBlobs& blobs);
 
-/// Reads blobs from `path`; throws std::runtime_error on malformed files.
+/// Reads the blobs of a v1 or v2 file; throws std::runtime_error on
+/// malformed input (bad magic, unsupported version, truncation).
 NamedBlobs load_blobs(const std::string& path);
+
+/// Writes a v2 manifest (metadata + blobs) to `path`.
+void save_manifest(const std::string& path, const Manifest& manifest);
+
+/// Reads a v1 (empty metadata) or v2 file; throws std::runtime_error with a
+/// message naming the problem on bad magic, unsupported version or
+/// truncation.
+Manifest load_manifest(const std::string& path);
 
 }  // namespace saga::util

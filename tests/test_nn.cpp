@@ -54,6 +54,34 @@ TEST(Module, StateDictRoundTrip) {
   for (std::int64_t i = 0; i < ya.numel(); ++i) EXPECT_EQ(ya.at(i), yb.at(i));
 }
 
+TEST(Module, StateDictPrefixNamespacesKeys) {
+  util::Rng rng(14);
+  Linear a(3, 2, rng);
+  const auto plain = a.state_dict();
+  const auto spaced = a.state_dict("classifier");
+  ASSERT_EQ(spaced.size(), plain.size());
+  for (const auto& [key, values] : plain) {
+    const auto it = spaced.find("classifier." + key);
+    ASSERT_NE(it, spaced.end());
+    EXPECT_EQ(it->second, values);
+  }
+  // Trailing dot is optional and equivalent.
+  EXPECT_EQ(a.state_dict("classifier."), spaced);
+
+  // Two modules can share one checkpoint under distinct namespaces; keys
+  // outside a module's prefix are ignored at load time.
+  Linear b(3, 2, rng);
+  Linear c(3, 2, rng);
+  auto shared = a.state_dict("backbone");
+  shared.merge(b.state_dict("classifier"));
+  c.load_state_dict(shared, "classifier");
+  Tensor x = Tensor::randn({2, 3}, rng);
+  const Tensor yb = b.forward(x);
+  const Tensor yc = c.forward(x);
+  for (std::int64_t i = 0; i < yb.numel(); ++i) EXPECT_EQ(yb.at(i), yc.at(i));
+  EXPECT_THROW(c.load_state_dict(shared, "missing_prefix"), std::runtime_error);
+}
+
 TEST(Module, LoadRejectsMissingKeys) {
   util::Rng rng(5);
   Linear layer(2, 2, rng);

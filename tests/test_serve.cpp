@@ -1,0 +1,363 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/pipeline.hpp"
+#include "data/synthetic.hpp"
+#include "serve/artifact.hpp"
+#include "serve/engine.hpp"
+#include "serve/loadgen.hpp"
+#include "tensor/grad_mode.hpp"
+#include "util/serialize.hpp"
+
+namespace saga::serve {
+namespace {
+
+std::string temp_path(const std::string& name) {
+  return std::filesystem::temp_directory_path() / name;
+}
+
+/// A tiny trained pipeline shared by the tests (training once keeps the
+/// suite fast; every consumer copies the exported artifact).
+class ServeTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    dataset_ = new data::Dataset(data::generate_dataset(data::hhar_like(48)));
+    core::PipelineConfig config = core::fast_profile();
+    config.backbone.hidden_dim = 24;
+    config.backbone.num_blocks = 1;
+    config.backbone.num_heads = 2;
+    config.backbone.ff_dim = 48;
+    config.classifier.gru_hidden = 16;
+    config.finetune.epochs = 1;
+    pipeline_ = new core::Pipeline(*dataset_, data::Task::kActivityRecognition,
+                                   config);
+    (void)pipeline_->run(core::Method::kNoPretrain, 0.5);
+  }
+
+  static void TearDownTestSuite() {
+    delete pipeline_;
+    pipeline_ = nullptr;
+    delete dataset_;
+    dataset_ = nullptr;
+  }
+
+  static Artifact artifact() { return Artifact::from_pipeline(*pipeline_); }
+
+  /// One dataset window as a flat [T*C] float vector.
+  static std::vector<float> window(std::int64_t index) {
+    const auto& samples = dataset_->samples;
+    return samples[static_cast<std::size_t>(index) % samples.size()].values;
+  }
+
+  static data::Dataset* dataset_;
+  static core::Pipeline* pipeline_;
+};
+
+data::Dataset* ServeTest::dataset_ = nullptr;
+core::Pipeline* ServeTest::pipeline_ = nullptr;
+
+TEST_F(ServeTest, PipelineExportsAfterRun) {
+  EXPECT_TRUE(pipeline_->has_trained());
+  const Artifact a = artifact();
+  EXPECT_EQ(a.task, data::Task::kActivityRecognition);
+  EXPECT_EQ(a.window_length(), dataset_->window_length);
+  EXPECT_EQ(a.channels(), dataset_->channels);
+  EXPECT_EQ(a.num_classes(), dataset_->num_classes(a.task));
+  EXPECT_FALSE(a.backbone_state.empty());
+  EXPECT_FALSE(a.classifier_state.empty());
+  EXPECT_NE(a.source.find("hhar"), std::string::npos);
+}
+
+TEST_F(ServeTest, UnrunPipelineRefusesExport) {
+  core::Pipeline fresh(*dataset_, data::Task::kActivityRecognition,
+                       core::fast_profile());
+  EXPECT_FALSE(fresh.has_trained());
+  EXPECT_THROW(Artifact::from_pipeline(fresh), std::runtime_error);
+}
+
+TEST_F(ServeTest, ArtifactRoundTripsThroughDisk) {
+  const std::string path = temp_path("saga_artifact_roundtrip.bin");
+  const Artifact original = artifact();
+  original.save(path);
+  const Artifact loaded = Artifact::load(path);
+  std::filesystem::remove(path);
+
+  EXPECT_EQ(loaded.task, original.task);
+  EXPECT_EQ(loaded.source, original.source);
+  EXPECT_EQ(loaded.backbone_state, original.backbone_state);
+  EXPECT_EQ(loaded.classifier_state, original.classifier_state);
+  EXPECT_EQ(loaded.backbone_config.hidden_dim, original.backbone_config.hidden_dim);
+  EXPECT_EQ(loaded.classifier_config.num_classes,
+            original.classifier_config.num_classes);
+}
+
+TEST_F(ServeTest, EngineMatchesDirectModelEvaluation) {
+  const std::string path = temp_path("saga_artifact_engine.bin");
+  export_artifact(*pipeline_, path);
+  const Artifact loaded = Artifact::load(path);
+  Engine engine(loaded);
+  std::filesystem::remove(path);
+
+  // The engine releases its weight blobs after building the models; only
+  // metadata remains queryable through engine.artifact().
+  EXPECT_TRUE(engine.artifact().backbone_state.empty());
+  EXPECT_EQ(engine.artifact().num_classes(), loaded.num_classes());
+
+  auto backbone = loaded.make_backbone();
+  auto classifier = loaded.make_classifier();
+  NoGradGuard no_grad;
+  for (std::int64_t i = 0; i < 4; ++i) {
+    const std::vector<float> w = window(i);
+    const Prediction prediction = engine.predict(w);
+    const Tensor direct = classifier.forward(backbone.encode(Tensor::from_data(
+        {1, dataset_->window_length, dataset_->channels}, w)));
+    ASSERT_EQ(prediction.logits.size(),
+              static_cast<std::size_t>(direct.numel()));
+    for (std::int64_t k = 0; k < direct.numel(); ++k) {
+      // Bit-identical, not approximately equal: the serving path must not
+      // perturb the model's arithmetic.
+      EXPECT_EQ(prediction.logits[static_cast<std::size_t>(k)], direct.at(k));
+    }
+  }
+}
+
+TEST_F(ServeTest, MicroBatchedResultsAreBitIdenticalToSingle) {
+  Engine batched(artifact(), {.max_batch_size = 8});
+  Engine single(artifact(), {.max_batch_size = 1});
+
+  std::vector<std::vector<float>> windows;
+  for (std::int64_t i = 0; i < 12; ++i) windows.push_back(window(i));
+  const auto grouped = batched.predict_batch(windows);
+  ASSERT_EQ(grouped.size(), windows.size());
+  for (std::size_t i = 0; i < windows.size(); ++i) {
+    const auto alone = single.predict(windows[i]);
+    EXPECT_EQ(grouped[i].label, alone.label);
+    EXPECT_EQ(grouped[i].logits, alone.logits);
+  }
+  // predict_batch enqueues everything at once, so the dispatcher must have
+  // coalesced at least some requests.
+  EXPECT_GE(batched.stats().largest_batch, 2U);
+  EXPECT_EQ(single.stats().largest_batch, 1U);
+}
+
+TEST_F(ServeTest, ConcurrentPredictionsAreCorrectAndComplete) {
+  constexpr std::size_t kThreads = 8;
+  constexpr std::size_t kPerThread = 24;
+  constexpr std::int64_t kDistinct = 6;
+
+  Engine engine(artifact(), {.max_batch_size = 8});
+  // Reference answers via the same engine before the storm (single caller).
+  std::vector<Prediction> expected;
+  for (std::int64_t i = 0; i < kDistinct; ++i) {
+    expected.push_back(engine.predict(window(i)));
+  }
+
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (std::size_t r = 0; r < kPerThread; ++r) {
+        const auto i = static_cast<std::int64_t>((t + r) % kDistinct);
+        const Prediction p = engine.predict(window(i));
+        if (p.logits != expected[static_cast<std::size_t>(i)].logits ||
+            p.label != expected[static_cast<std::size_t>(i)].label) {
+          mismatches.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  EXPECT_EQ(mismatches.load(), 0);
+  const EngineStats stats = engine.stats();
+  EXPECT_EQ(stats.requests, kThreads * kPerThread + kDistinct);
+  EXPECT_GE(stats.batches, 1U);
+  EXPECT_LE(stats.largest_batch, 8U);
+}
+
+TEST_F(ServeTest, EngineRejectsWrongWindowSizeAndShutdown) {
+  Engine engine(artifact());
+  EXPECT_THROW(engine.predict(std::vector<float>(7)), std::invalid_argument);
+  engine.shutdown();
+  EXPECT_THROW(engine.predict(window(0)), std::runtime_error);
+  engine.shutdown();  // idempotent
+}
+
+TEST_F(ServeTest, NormalizationStatsApplyAndRoundTrip) {
+  Artifact a = artifact();
+  const auto channels = static_cast<std::size_t>(a.channels());
+  EXPECT_THROW(a.set_normalization({1.0F}, {1.0F}), std::runtime_error);
+  EXPECT_THROW(a.set_normalization(std::vector<float>(channels, 0.0F),
+                                   std::vector<float>(channels, 0.0F)),
+               std::runtime_error);
+  a.set_normalization(std::vector<float>(channels, 0.5F),
+                      std::vector<float>(channels, 2.0F));
+
+  const std::string path = temp_path("saga_artifact_norm.bin");
+  a.save(path);
+  const Artifact loaded = Artifact::load(path);
+  std::filesystem::remove(path);
+  EXPECT_EQ(loaded.norm_mean, a.norm_mean);
+  EXPECT_EQ(loaded.norm_scale, a.norm_scale);
+
+  // Engine applies (x - mean) / scale: feeding x' = x * scale + mean through
+  // a normalizing engine must equal feeding x through an identity one.
+  Engine normalizing(loaded);
+  Engine identity(artifact());
+  std::vector<float> shifted = window(0);
+  for (float& v : shifted) v = v * 2.0F + 0.5F;
+  const auto via_stats = normalizing.predict(shifted);
+  const auto direct = identity.predict(window(0));
+  ASSERT_EQ(via_stats.logits.size(), direct.logits.size());
+  for (std::size_t k = 0; k < direct.logits.size(); ++k) {
+    EXPECT_NEAR(via_stats.logits[k], direct.logits[k], 1e-4F);
+  }
+}
+
+TEST_F(ServeTest, LoadGeneratorCountsEveryRequest) {
+  Engine engine(artifact(), {.max_batch_size = 4});
+  const LoadReport report = run_load(engine, 3, 5, /*seed=*/42);
+  EXPECT_EQ(report.latencies_ms.size(), 15U);
+  EXPECT_TRUE(std::is_sorted(report.latencies_ms.begin(),
+                             report.latencies_ms.end()));
+  EXPECT_GT(report.requests_per_second(), 0.0);
+  EXPECT_LE(report.percentile_ms(0.5), report.percentile_ms(1.0));
+  EXPECT_EQ(engine.stats().requests, 15U);
+
+  const LoadReport empty;  // zero-request edge: percentiles must not crash
+  EXPECT_EQ(empty.percentile_ms(0.5), 0.0);
+  EXPECT_EQ(empty.requests_per_second(), 0.0);
+}
+
+// ---- error paths: malformed files and config/weight mismatches ----------
+
+TEST_F(ServeTest, LoadRejectsTruncatedFile) {
+  const std::string path = temp_path("saga_artifact_truncated.bin");
+  artifact().save(path);
+  const auto full_size = std::filesystem::file_size(path);
+  std::filesystem::resize_file(path, full_size / 2);
+  EXPECT_THROW(
+      {
+        try {
+          Artifact::load(path);
+        } catch (const std::runtime_error& e) {
+          EXPECT_NE(std::string(e.what()).find("truncated"), std::string::npos);
+          throw;
+        }
+      },
+      std::runtime_error);
+  std::filesystem::remove(path);
+}
+
+TEST_F(ServeTest, LoadRejectsNonArtifactCheckpoint) {
+  const std::string path = temp_path("saga_artifact_plain.bin");
+  util::save_blobs(path, {{"weights", {1.0F, 2.0F}}});
+  EXPECT_THROW(
+      {
+        try {
+          Artifact::load(path);
+        } catch (const std::runtime_error& e) {
+          EXPECT_NE(std::string(e.what()).find("not a serve artifact"),
+                    std::string::npos);
+          throw;
+        }
+      },
+      std::runtime_error);
+  std::filesystem::remove(path);
+}
+
+TEST_F(ServeTest, LoadRejectsChannelCountMismatch) {
+  const std::string path = temp_path("saga_artifact_badchan.bin");
+  artifact().save(path);
+  // save() validates, so inject the config/weight drift into the file.
+  util::Manifest manifest = util::load_manifest(path);
+  manifest.metadata["backbone.input_channels"] = "9";
+  util::save_manifest(path, manifest);
+  EXPECT_THROW(
+      {
+        try {
+          Artifact::load(path);
+        } catch (const std::runtime_error& e) {
+          EXPECT_NE(std::string(e.what()).find("channel count mismatch"),
+                    std::string::npos);
+          throw;
+        }
+      },
+      std::runtime_error);
+  std::filesystem::remove(path);
+}
+
+TEST_F(ServeTest, LoadRejectsClassCountMismatch) {
+  const std::string path = temp_path("saga_artifact_badclass.bin");
+  artifact().save(path);
+  util::Manifest manifest = util::load_manifest(path);
+  manifest.metadata["classifier.num_classes"] =
+      std::to_string(artifact().num_classes() + 2);
+  util::save_manifest(path, manifest);
+  EXPECT_THROW(
+      {
+        try {
+          Artifact::load(path);
+        } catch (const std::runtime_error& e) {
+          EXPECT_NE(std::string(e.what()).find("class count mismatch"),
+                    std::string::npos);
+          throw;
+        }
+      },
+      std::runtime_error);
+  std::filesystem::remove(path);
+}
+
+TEST_F(ServeTest, LoadRejectsDegenerateModelConfig) {
+  const std::string path = temp_path("saga_artifact_badheads.bin");
+  artifact().save(path);
+  util::Manifest manifest = util::load_manifest(path);
+  manifest.metadata["backbone.num_heads"] = "0";  // would SIGFPE in attention
+  util::save_manifest(path, manifest);
+  EXPECT_THROW(Artifact::load(path), std::runtime_error);
+
+  manifest.metadata["backbone.num_heads"] = "7";  // does not divide hidden_dim
+  util::save_manifest(path, manifest);
+  EXPECT_THROW(
+      {
+        try {
+          Artifact::load(path);
+        } catch (const std::runtime_error& e) {
+          EXPECT_NE(std::string(e.what()).find("not divisible by num_heads"),
+                    std::string::npos);
+          throw;
+        }
+      },
+      std::runtime_error);
+  std::filesystem::remove(path);
+}
+
+TEST_F(ServeTest, LoadRejectsUnsupportedArtifactVersion) {
+  const std::string path = temp_path("saga_artifact_badver.bin");
+  artifact().save(path);
+  util::Manifest manifest = util::load_manifest(path);
+  manifest.metadata["artifact_version"] = "99";
+  util::save_manifest(path, manifest);
+  EXPECT_THROW(
+      {
+        try {
+          Artifact::load(path);
+        } catch (const std::runtime_error& e) {
+          EXPECT_NE(std::string(e.what()).find("unsupported artifact_version"),
+                    std::string::npos);
+          throw;
+        }
+      },
+      std::runtime_error);
+  std::filesystem::remove(path);
+}
+
+}  // namespace
+}  // namespace saga::serve

@@ -127,7 +127,93 @@ TEST(Serialize, RejectsCorruptMagic) {
     std::fclose(f);
   }
   EXPECT_THROW(load_blobs(path), std::runtime_error);
+  EXPECT_THROW(load_manifest(path), std::runtime_error);
   std::filesystem::remove(path);
+}
+
+TEST(Serialize, ManifestRoundTripsMetadataAndBlobs) {
+  const std::string path =
+      std::filesystem::temp_directory_path() / "saga_manifest.bin";
+  Manifest manifest;
+  manifest.metadata["format"] = "test";
+  manifest.metadata["empty"] = "";
+  manifest.metadata["count"] = "42";
+  manifest.blobs["w"] = {1.0F, -2.0F};
+  manifest.blobs["b"] = {};
+  save_manifest(path, manifest);
+  const Manifest loaded = load_manifest(path);
+  EXPECT_EQ(loaded, manifest);
+  // Blob-only readers see a v2 file's blobs too.
+  EXPECT_EQ(load_blobs(path), manifest.blobs);
+  std::filesystem::remove(path);
+}
+
+TEST(Serialize, ManifestReadsV1FilesAsEmptyMetadata) {
+  const std::string path =
+      std::filesystem::temp_directory_path() / "saga_manifest_v1.bin";
+  NamedBlobs blobs;
+  blobs["legacy"] = {3.0F};
+  save_blobs(path, blobs);
+  const Manifest loaded = load_manifest(path);
+  EXPECT_TRUE(loaded.metadata.empty());
+  EXPECT_EQ(loaded.blobs, blobs);
+  std::filesystem::remove(path);
+}
+
+TEST(Serialize, RejectsUnsupportedVersion) {
+  const std::string path =
+      std::filesystem::temp_directory_path() / "saga_future.bin";
+  {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    const std::uint32_t version = 99;
+    std::fwrite("SAGA", 1, 4, f);
+    std::fwrite(&version, sizeof(version), 1, f);
+    std::fclose(f);
+  }
+  EXPECT_THROW(
+      {
+        try {
+          load_manifest(path);
+        } catch (const std::runtime_error& e) {
+          EXPECT_NE(std::string(e.what()).find("unsupported version 99"),
+                    std::string::npos);
+          throw;
+        }
+      },
+      std::runtime_error);
+  std::filesystem::remove(path);
+}
+
+TEST(Serialize, RejectsTruncatedFile) {
+  const std::string path =
+      std::filesystem::temp_directory_path() / "saga_truncated.bin";
+  Manifest manifest;
+  manifest.metadata["key"] = "value";
+  manifest.blobs["w"] = std::vector<float>(256, 1.0F);
+  save_manifest(path, manifest);
+  std::filesystem::resize_file(path, std::filesystem::file_size(path) - 100);
+  EXPECT_THROW(
+      {
+        try {
+          load_manifest(path);
+        } catch (const std::runtime_error& e) {
+          EXPECT_NE(std::string(e.what()).find("truncated"), std::string::npos);
+          throw;
+        }
+      },
+      std::runtime_error);
+  std::filesystem::remove(path);
+}
+
+TEST(Serialize, ManifestRequireReportsMissingAndMalformedKeys) {
+  Manifest manifest;
+  manifest.metadata["n"] = "12";
+  manifest.metadata["bad"] = "12abc";
+  EXPECT_EQ(manifest.require("n"), "12");
+  EXPECT_EQ(manifest.require_int("n"), 12);
+  EXPECT_THROW(manifest.require("absent"), std::runtime_error);
+  EXPECT_THROW(manifest.require_int("absent"), std::runtime_error);
+  EXPECT_THROW(manifest.require_int("bad"), std::runtime_error);
 }
 
 TEST(Table, FormatsAlignedRows) {
