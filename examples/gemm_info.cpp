@@ -1,0 +1,18 @@
+// Prints which GEMM path this host dispatches to. CI runs this after every
+// build so logs show whether the AVX2 micro-kernel or the scalar fallback
+// was exercised by the test suite.
+#include <iostream>
+
+#include "tensor/gemm/gemm.hpp"
+
+int main() {
+  std::cout << "gemm dispatch kernel: " << saga::gemm::kernel_name() << "\n";
+  std::cout << "cpu supports avx2+fma: "
+            << (saga::gemm::cpu_supports_avx2() ? "yes" : "no") << "\n";
+  std::cout << "available kernels:";
+  for (const saga::gemm::Kernel k : saga::gemm::available_kernels()) {
+    std::cout << " " << saga::gemm::kernel_name(k);
+  }
+  std::cout << "\n";
+  return 0;
+}

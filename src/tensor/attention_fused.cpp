@@ -3,6 +3,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "tensor/gemm/gemm.hpp"
 #include "util/thread_pool.hpp"
 
 namespace saga {
@@ -13,6 +14,17 @@ namespace {
 inline std::int64_t offset(std::int64_t b, std::int64_t t, std::int64_t c,
                            std::int64_t seq, std::int64_t dim) {
   return (b * seq + t) * dim + c;
+}
+
+// Per-(batch, head) GEMM on [B,T,D] slabs: the head's [T, head_dim] panel is
+// a strided view with row stride `dim`, which the gemm driver packs directly
+// — no per-head copies. Runs serially; parallelism lives at the (b,h) level.
+inline void head_gemm(const float* a, std::int64_t lda, const float* b,
+                      std::int64_t ldb, float* c, std::int64_t ldc,
+                      std::int64_t m, std::int64_t n, std::int64_t k,
+                      bool trans_a, bool trans_b, bool accumulate) {
+  gemm::gemm(a, lda, b, ldb, c, ldc, m, n, k, trans_a, trans_b, accumulate,
+             gemm::Kernel::kAuto, /*parallel=*/false);
 }
 
 }  // namespace
@@ -47,18 +59,18 @@ Tensor fused_multi_head_attention(const Tensor& q, const Tensor& k,
     const std::int64_t c0 = h * head_dim;  // head channel offset
     float* prow_base = probs->data() + pair * seq * seq;
 
+    // Scores: P = Q_h x K_h^T (both [T, head_dim] strided views).
+    head_gemm(qd + offset(b, 0, c0, seq, dim), dim,
+              kd + offset(b, 0, c0, seq, dim), dim, prow_base, seq, seq, seq,
+              head_dim, /*trans_a=*/false, /*trans_b=*/true,
+              /*accumulate=*/false);
+    // Scale + row-wise stable softmax in place.
     for (std::int64_t i = 0; i < seq; ++i) {
       float* prow = prow_base + i * seq;
-      const float* qi = qd + offset(b, i, c0, seq, dim);
-      // Scores + running max for a stable softmax.
       float max_v = -1e30F;
       for (std::int64_t j = 0; j < seq; ++j) {
-        const float* kj = kd + offset(b, j, c0, seq, dim);
-        float acc = 0.0F;
-        for (std::int64_t c = 0; c < head_dim; ++c) acc += qi[c] * kj[c];
-        acc *= inv_sqrt_d;
-        prow[j] = acc;
-        max_v = std::max(max_v, acc);
+        prow[j] *= inv_sqrt_d;
+        max_v = std::max(max_v, prow[j]);
       }
       float denom = 0.0F;
       for (std::int64_t j = 0; j < seq; ++j) {
@@ -67,14 +79,11 @@ Tensor fused_multi_head_attention(const Tensor& q, const Tensor& k,
       }
       const float inv_denom = 1.0F / denom;
       for (std::int64_t j = 0; j < seq; ++j) prow[j] *= inv_denom;
-      // Context: out_i = sum_j p_ij v_j.
-      float* oi = out.data() + offset(b, i, c0, seq, dim);
-      for (std::int64_t j = 0; j < seq; ++j) {
-        const float p = prow[j];
-        const float* vj = vd + offset(b, j, c0, seq, dim);
-        for (std::int64_t c = 0; c < head_dim; ++c) oi[c] += p * vj[c];
-      }
     }
+    // Context: Out_h = P x V_h.
+    head_gemm(prow_base, seq, vd + offset(b, 0, c0, seq, dim), dim,
+              out.data() + offset(b, 0, c0, seq, dim), dim, seq, head_dim, seq,
+              /*trans_a=*/false, /*trans_b=*/false, /*accumulate=*/false);
   });
 
   auto q_impl = q.impl();
@@ -93,7 +102,6 @@ Tensor fused_multi_head_attention(const Tensor& q, const Tensor& k,
         float* gv = need_v ? v_impl->grad_buffer().data() : nullptr;
         const float* qb = q_impl->data.data();
         const float* kb = k_impl->data.data();
-        const float* vb = v_impl->data.data();
         const float* go = o.grad.data();
 
         // Parallel over (b, h): every pair touches disjoint channel ranges of
@@ -104,43 +112,47 @@ Tensor fused_multi_head_attention(const Tensor& q, const Tensor& k,
           const std::int64_t h = static_cast<std::int64_t>(pair) % num_heads;
           const std::int64_t c0 = h * head_dim;
           const float* prow_base = probs->data() + pair * seq * seq;
-          std::vector<float> dp(static_cast<std::size_t>(seq));
+          const float* go_h = go + offset(b, 0, c0, seq, dim);
 
+          // dV_h += P^T x dOut_h.
+          if (gv != nullptr) {
+            head_gemm(prow_base, seq, go_h, dim,
+                      gv + offset(b, 0, c0, seq, dim), dim, seq, head_dim, seq,
+                      /*trans_a=*/true, /*trans_b=*/false, /*accumulate=*/true);
+          }
+          if (gq == nullptr && gk == nullptr) return;
+
+          // dP = dOut_h x V_h^T, then in place dS_ij = P_ij (dP_ij - dP.P_i)
+          // / sqrt(d) (softmax backward fused with the score scale).
+          // Reused per pool thread across pairs/calls to avoid a seq x seq
+          // allocation inside the hot loop.
+          thread_local std::vector<float> ds;
+          if (static_cast<std::int64_t>(ds.size()) < seq * seq) {
+            ds.resize(static_cast<std::size_t>(seq * seq));
+          }
+          head_gemm(go_h, dim, v_impl->data.data() + offset(b, 0, c0, seq, dim),
+                    dim, ds.data(), seq, seq, seq, head_dim, /*trans_a=*/false,
+                    /*trans_b=*/true, /*accumulate=*/false);
           for (std::int64_t i = 0; i < seq; ++i) {
             const float* prow = prow_base + i * seq;
-            const float* goi = go + offset(b, i, c0, seq, dim);
-
-            // dV_j += p_ij * dOut_i and dp_j = dOut_i . v_j.
+            float* dsrow = ds.data() + i * seq;
             float dot_dp_p = 0.0F;
+            for (std::int64_t j = 0; j < seq; ++j) dot_dp_p += dsrow[j] * prow[j];
             for (std::int64_t j = 0; j < seq; ++j) {
-              const float* vj = vb + offset(b, j, c0, seq, dim);
-              float acc = 0.0F;
-              for (std::int64_t c = 0; c < head_dim; ++c) acc += goi[c] * vj[c];
-              dp[static_cast<std::size_t>(j)] = acc;
-              dot_dp_p += acc * prow[j];
-              if (gv != nullptr) {
-                float* gvj = gv + offset(b, j, c0, seq, dim);
-                const float p = prow[j];
-                for (std::int64_t c = 0; c < head_dim; ++c) gvj[c] += p * goi[c];
-              }
+              dsrow[j] = prow[j] * (dsrow[j] - dot_dp_p) * inv_sqrt_d;
             }
-            if (gq == nullptr && gk == nullptr) continue;
-            // Softmax backward + score backward.
-            const float* qi = qb + offset(b, i, c0, seq, dim);
-            float* gqi = gq != nullptr ? gq + offset(b, i, c0, seq, dim) : nullptr;
-            for (std::int64_t j = 0; j < seq; ++j) {
-              const float ds =
-                  prow[j] * (dp[static_cast<std::size_t>(j)] - dot_dp_p) *
-                  inv_sqrt_d;
-              const float* kj = kb + offset(b, j, c0, seq, dim);
-              if (gqi != nullptr) {
-                for (std::int64_t c = 0; c < head_dim; ++c) gqi[c] += ds * kj[c];
-              }
-              if (gk != nullptr) {
-                float* gkj = gk + offset(b, j, c0, seq, dim);
-                for (std::int64_t c = 0; c < head_dim; ++c) gkj[c] += ds * qi[c];
-              }
-            }
+          }
+          // dQ_h += dS x K_h and dK_h += dS^T x Q_h.
+          if (gq != nullptr) {
+            head_gemm(ds.data(), seq, kb + offset(b, 0, c0, seq, dim), dim,
+                      gq + offset(b, 0, c0, seq, dim), dim, seq, head_dim, seq,
+                      /*trans_a=*/false, /*trans_b=*/false,
+                      /*accumulate=*/true);
+          }
+          if (gk != nullptr) {
+            head_gemm(ds.data(), seq, qb + offset(b, 0, c0, seq, dim), dim,
+                      gk + offset(b, 0, c0, seq, dim), dim, seq, head_dim, seq,
+                      /*trans_a=*/true, /*trans_b=*/false, /*accumulate=*/true);
           }
         });
       });

@@ -1,0 +1,73 @@
+// AVX2+FMA 6x16 micro-kernel. This is the only translation unit compiled
+// with -mavx2 -mfma (see CMakeLists); everything else in the library stays
+// baseline-ISA, and the driver only dispatches here after a CPUID check.
+//
+// Register budget (16 ymm): 12 accumulators (6 rows x 2 vectors of 8), one
+// broadcast for A, two loads for the B step — fits with a register to spare.
+#include "tensor/gemm/microkernel.hpp"
+
+#if defined(__AVX2__) && defined(__FMA__)
+
+#include <immintrin.h>
+
+namespace saga::gemm::detail {
+
+namespace {
+
+void kernel_avx2_6x16(std::int64_t kc, const float* a_panel,
+                      const float* b_panel, float* c, std::int64_t ldc,
+                      std::int64_t mr, std::int64_t nr) {
+  __m256 acc0[kMR];
+  __m256 acc1[kMR];
+  for (std::int64_t r = 0; r < kMR; ++r) {
+    acc0[r] = _mm256_setzero_ps();
+    acc1[r] = _mm256_setzero_ps();
+  }
+  for (std::int64_t p = 0; p < kc; ++p) {
+    const __m256 b0 = _mm256_loadu_ps(b_panel + p * kNR);
+    const __m256 b1 = _mm256_loadu_ps(b_panel + p * kNR + 8);
+    const float* a_step = a_panel + p * kMR;
+    for (std::int64_t r = 0; r < kMR; ++r) {
+      const __m256 av = _mm256_broadcast_ss(a_step + r);
+      acc0[r] = _mm256_fmadd_ps(av, b0, acc0[r]);
+      acc1[r] = _mm256_fmadd_ps(av, b1, acc1[r]);
+    }
+  }
+  if (mr == kMR && nr == kNR) {
+    for (std::int64_t r = 0; r < kMR; ++r) {
+      float* crow = c + r * ldc;
+      _mm256_storeu_ps(crow, _mm256_add_ps(_mm256_loadu_ps(crow), acc0[r]));
+      _mm256_storeu_ps(crow + 8,
+                       _mm256_add_ps(_mm256_loadu_ps(crow + 8), acc1[r]));
+    }
+    return;
+  }
+  // Edge tile: spill the padded tile and add only the valid region, keeping
+  // per-element arithmetic identical to the full-tile path.
+  alignas(32) float buf[kMR * kNR];
+  for (std::int64_t r = 0; r < kMR; ++r) {
+    _mm256_store_ps(buf + r * kNR, acc0[r]);
+    _mm256_store_ps(buf + r * kNR + 8, acc1[r]);
+  }
+  for (std::int64_t r = 0; r < mr; ++r) {
+    float* crow = c + r * ldc;
+    const float* brow = buf + r * kNR;
+    for (std::int64_t j = 0; j < nr; ++j) crow[j] += brow[j];
+  }
+}
+
+}  // namespace
+
+MicroKernelFn avx2_microkernel() { return &kernel_avx2_6x16; }
+
+}  // namespace saga::gemm::detail
+
+#else  // build without AVX2 support for this file
+
+namespace saga::gemm::detail {
+
+MicroKernelFn avx2_microkernel() { return nullptr; }
+
+}  // namespace saga::gemm::detail
+
+#endif

@@ -1,0 +1,50 @@
+// Portable scalar micro-kernel. Built without any ISA-specific flags so the
+// library stays runnable on baseline x86-64 (and non-x86) hosts; the uniform
+// fixed-trip-count loops still auto-vectorize under the default target.
+#include "tensor/gemm/microkernel.hpp"
+
+#include <algorithm>
+
+namespace saga::gemm::detail {
+
+namespace {
+
+constexpr std::int64_t kHalf = kNR / 2;
+
+// One kMR x kNR/2 half-tile. A full 6x16 accumulator block (96 floats) spills
+// out of the 16 baseline xmm registers, so the tile is processed as two
+// sequential 6x8 halves — 12 accumulator vectors of 4 each, which fits and
+// lets the fixed-trip-count j-loop auto-vectorize under plain SSE2.
+void half_tile(std::int64_t kc, const float* a_panel, const float* b_panel,
+               float* c, std::int64_t ldc, std::int64_t mr, std::int64_t nr) {
+  float acc[kMR][kHalf] = {};
+  for (std::int64_t p = 0; p < kc; ++p) {
+    const float* a_step = a_panel + p * kMR;
+    const float* b_step = b_panel + p * kNR;
+    for (std::int64_t r = 0; r < kMR; ++r) {
+      const float av = a_step[r];
+      for (std::int64_t j = 0; j < kHalf; ++j) acc[r][j] += av * b_step[j];
+    }
+  }
+  for (std::int64_t r = 0; r < mr; ++r) {
+    float* crow = c + r * ldc;
+    for (std::int64_t j = 0; j < nr; ++j) crow[j] += acc[r][j];
+  }
+}
+
+void kernel_scalar(std::int64_t kc, const float* a_panel, const float* b_panel,
+                   float* c, std::int64_t ldc, std::int64_t mr,
+                   std::int64_t nr) {
+  // Each output element is produced by exactly one half-tile with the same
+  // per-element arithmetic regardless of edges (see microkernel.hpp).
+  half_tile(kc, a_panel, b_panel, c, ldc, mr, std::min(nr, kHalf));
+  if (nr > kHalf) {
+    half_tile(kc, a_panel, b_panel + kHalf, c + kHalf, ldc, mr, nr - kHalf);
+  }
+}
+
+}  // namespace
+
+MicroKernelFn scalar_microkernel() { return &kernel_scalar; }
+
+}  // namespace saga::gemm::detail

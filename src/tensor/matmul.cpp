@@ -2,95 +2,10 @@
 
 #include <stdexcept>
 
+#include "tensor/gemm/gemm.hpp"
 #include "util/thread_pool.hpp"
 
 namespace saga {
-
-namespace {
-
-// Work below this many multiply-adds is done serially; above it, rows are
-// split across the global thread pool.
-constexpr std::int64_t kParallelThreshold = 1 << 15;
-
-// Serial kernel over the row range [m0, m1). `m_total` is the full M extent
-// (needed to index transposed A, which is stored [K, M]).
-void matmul_rows(const float* a, const float* b, float* c, std::int64_t m0,
-                 std::int64_t m1, std::int64_t m_total, std::int64_t n,
-                 std::int64_t k, bool trans_a, bool trans_b, bool accumulate) {
-  if (!accumulate) {
-    for (std::int64_t i = m0; i < m1; ++i) {
-      float* row = c + i * n;
-      for (std::int64_t j = 0; j < n; ++j) row[j] = 0.0F;
-    }
-  }
-  if (!trans_a && !trans_b) {
-    // ikj order: streams B rows; auto-vectorizes well.
-    for (std::int64_t i = m0; i < m1; ++i) {
-      float* crow = c + i * n;
-      const float* arow = a + i * k;
-      for (std::int64_t p = 0; p < k; ++p) {
-        const float av = arow[p];
-        const float* brow = b + p * n;
-        for (std::int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
-      }
-    }
-  } else if (!trans_a && trans_b) {
-    // B stored [N, K]: contiguous dot products.
-    for (std::int64_t i = m0; i < m1; ++i) {
-      const float* arow = a + i * k;
-      float* crow = c + i * n;
-      for (std::int64_t j = 0; j < n; ++j) {
-        const float* brow = b + j * k;
-        float acc = 0.0F;
-        for (std::int64_t p = 0; p < k; ++p) acc += arow[p] * brow[p];
-        crow[j] += acc;
-      }
-    }
-  } else if (trans_a && !trans_b) {
-    // A stored [K, M]: A'[i, p] = a[p * m_total + i].
-    for (std::int64_t i = m0; i < m1; ++i) {
-      float* crow = c + i * n;
-      for (std::int64_t p = 0; p < k; ++p) {
-        const float a_ip = a[p * m_total + i];
-        const float* brow = b + p * n;
-        for (std::int64_t j = 0; j < n; ++j) crow[j] += a_ip * brow[j];
-      }
-    }
-  } else {  // trans_a && trans_b
-    for (std::int64_t i = m0; i < m1; ++i) {
-      float* crow = c + i * n;
-      for (std::int64_t j = 0; j < n; ++j) {
-        float acc = 0.0F;
-        for (std::int64_t p = 0; p < k; ++p) {
-          acc += a[p * m_total + i] * b[j * k + p];
-        }
-        crow[j] += acc;
-      }
-    }
-  }
-}
-
-}  // namespace
-
-void matmul_kernel(const float* a, const float* b, float* c, std::int64_t m,
-                   std::int64_t n, std::int64_t k, bool trans_a, bool trans_b,
-                   bool accumulate) {
-  if (m * n * k < kParallelThreshold || m == 1) {
-    matmul_rows(a, b, c, 0, m, m, n, k, trans_a, trans_b, accumulate);
-    return;
-  }
-  const std::size_t threads = util::ThreadPool::global().size();
-  const std::int64_t chunk =
-      std::max<std::int64_t>(1, (m + static_cast<std::int64_t>(threads) - 1) /
-                                    static_cast<std::int64_t>(threads));
-  const std::int64_t num_chunks = (m + chunk - 1) / chunk;
-  util::ThreadPool::global().parallel_for(
-      0, static_cast<std::size_t>(num_chunks), [&](std::size_t ci) {
-        const std::int64_t lo = static_cast<std::int64_t>(ci) * chunk;
-        const std::int64_t hi = std::min(m, lo + chunk);
-        matmul_rows(a, b, c, lo, hi, m, n, k, trans_a, trans_b, accumulate);
-      });
-}
 
 Tensor matmul(const Tensor& a, const Tensor& b) {
   if (a.dim() != 2 || b.dim() != 2) {
@@ -107,8 +22,8 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
                                 shape_str(b.shape()));
   }
   std::vector<float> out(static_cast<std::size_t>(m * n));
-  matmul_kernel(a.data().data(), b.data().data(), out.data(), m, n, k,
-                /*trans_a=*/false, /*trans_b=*/false, /*accumulate=*/false);
+  gemm::gemm(a.data().data(), b.data().data(), out.data(), m, n, k,
+             /*trans_a=*/false, /*trans_b=*/false, /*accumulate=*/false);
 
   auto a_impl = a.impl();
   auto b_impl = b.impl();
@@ -118,23 +33,28 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
         const float* go = o.grad.data();
         if (detail::wants_grad(*a_impl)) {
           // dA[M,K] = dC[M,N] x B^T  (B stored [K,N] -> trans_b)
-          matmul_kernel(go, b_impl->data.data(), a_impl->grad_buffer().data(),
-                        m, k, n, false, true, true);
+          gemm::gemm(go, b_impl->data.data(), a_impl->grad_buffer().data(), m,
+                     k, n, false, true, true);
         }
         if (detail::wants_grad(*b_impl)) {
           // dB[K,N] = A^T x dC  (A stored [M,K] -> trans_a)
-          matmul_kernel(a_impl->data.data(), go, b_impl->grad_buffer().data(),
-                        k, n, m, true, false, true);
+          gemm::gemm(a_impl->data.data(), go, b_impl->grad_buffer().data(), k,
+                     n, m, true, false, true);
         }
       });
 }
 
 Tensor bmm(const Tensor& a, const Tensor& b, bool trans_a, bool trans_b) {
   if (a.dim() != 3 || b.dim() != 3) {
-    throw std::invalid_argument("bmm: expects 3-D tensors");
+    throw std::invalid_argument("bmm: expects 3-D tensors, got " +
+                                shape_str(a.shape()) + " x " +
+                                shape_str(b.shape()));
   }
   const std::int64_t batch = a.size(0);
-  if (b.size(0) != batch) throw std::invalid_argument("bmm: batch mismatch");
+  if (b.size(0) != batch) {
+    throw std::invalid_argument("bmm: batch mismatch: " + shape_str(a.shape()) +
+                                " x " + shape_str(b.shape()));
+  }
   const std::int64_t m = trans_a ? a.size(2) : a.size(1);
   const std::int64_t ka = trans_a ? a.size(1) : a.size(2);
   const std::int64_t kb = trans_b ? b.size(2) : b.size(1);
@@ -152,10 +72,12 @@ Tensor bmm(const Tensor& a, const Tensor& b, bool trans_a, bool trans_b) {
   std::vector<float> out(static_cast<std::size_t>(batch * m * n));
   const float* ad = a.data().data();
   const float* bd = b.data().data();
+  // Parallelism lives at the batch level; each per-batch GEMM runs serially.
   util::parallel_for(0, static_cast<std::size_t>(batch), [&](std::size_t i) {
     const auto bi = static_cast<std::int64_t>(i);
-    matmul_rows(ad + bi * a_stride, bd + bi * b_stride, out.data() + bi * c_stride,
-                0, m, m, n, k, trans_a, trans_b, /*accumulate=*/false);
+    gemm::gemm(ad + bi * a_stride, bd + bi * b_stride,
+               out.data() + bi * c_stride, m, n, k, trans_a, trans_b,
+               /*accumulate=*/false, gemm::Kernel::kAuto, /*parallel=*/false);
   });
 
   auto a_impl = a.impl();
@@ -172,6 +94,12 @@ Tensor bmm(const Tensor& a, const Tensor& b, bool trans_a, bool trans_b) {
         if (!need_a && !need_b) return;
         float* ga = need_a ? a_impl->grad_buffer().data() : nullptr;
         float* gb = need_b ? b_impl->grad_buffer().data() : nullptr;
+        const auto serial_gemm = [](const float* x, const float* y, float* z,
+                                    std::int64_t gm, std::int64_t gn,
+                                    std::int64_t gk, bool tx, bool ty) {
+          gemm::gemm(x, y, z, gm, gn, gk, tx, ty, /*accumulate=*/true,
+                     gemm::Kernel::kAuto, /*parallel=*/false);
+        };
         util::parallel_for(0, static_cast<std::size_t>(batch), [&](std::size_t i) {
           const auto bi = static_cast<std::int64_t>(i);
           const float* gout = go + bi * c_stride;
@@ -183,17 +111,15 @@ Tensor bmm(const Tensor& a, const Tensor& b, bool trans_a, bool trans_b) {
               // dA[M,K] = dC x B'(T). B' = trans_b ? B : B^T in storage terms:
               // dA = dC[M,N] x (B')^T ; with B stored [K,N] (!trans_b) we need
               // trans flag true; with B stored [N,K] (trans_b) flag false.
-              matmul_rows(gout, bb, gab, 0, m, m, k, n, false, !trans_b, true);
+              serial_gemm(gout, bb, gab, m, k, n, false, !trans_b);
             } else {
-              // A stored [K,M]; dA_storage[K,M] = B' x dC^T. Compute as
-              // dA_storage = (B')[K? ] ... easier: dA_storage[p,i] =
-              // sum_j B'[p,j]... Derive: C[i,j] = sum_p A_st[p,i] B'[p,j]
+              // A stored [K,M]; C[i,j] = sum_p A_st[p,i] B'[p,j]
               // => dA_st[p,i] = sum_j B'[p,j] dC[i,j].
               // As a matmul: rows = K (index p), cols = M (index i),
-              // inner = N (index j): dA_st = B'' x dC^T where B''[p,j] = B'[p,j].
-              // B'[p,j] = trans_b ? B_st[j? ] handled via flags below.
-              // B' stored: !trans_b -> B_st[K,N] (no trans); trans_b -> B_st[N,K] (trans).
-              matmul_rows(bb, gout, gab, 0, k, k, m, n, trans_b, true, true);
+              // inner = N (index j): dA_st = B' x dC^T.
+              // B' stored: !trans_b -> B_st[K,N] (no trans); trans_b ->
+              // B_st[N,K] (trans).
+              serial_gemm(bb, gout, gab, k, m, n, trans_b, true);
             }
           }
           if (need_b) {
@@ -203,14 +129,14 @@ Tensor bmm(const Tensor& a, const Tensor& b, bool trans_a, bool trans_b) {
               // = (A')^T x dC: rows K, cols N, inner M.
               // A' stored: !trans_a -> A_st[M,K], need transpose -> flag true;
               // trans_a -> A_st[K,M], no transpose -> flag false.
-              matmul_rows(ab, gout, gbb, 0, k, k, n, m, !trans_a, false, true);
+              serial_gemm(ab, gout, gbb, k, n, m, !trans_a, false);
             } else {
               // B stored [N,K]: dB_st[j,p] = sum_i dC[i,j] A'[i,p]
               // = dC^T x A': rows N, cols K, inner M.
               // dC stored [M,N] -> transpose (flag true).
               // A' stored: !trans_a -> A_st[M,K] no transpose; trans_a ->
               // A_st[K,M] -> transpose.
-              matmul_rows(gout, ab, gbb, 0, n, n, k, m, true, trans_a, true);
+              serial_gemm(gout, ab, gbb, n, k, m, true, trans_a);
             }
           }
         });

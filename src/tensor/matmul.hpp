@@ -1,20 +1,16 @@
 // Matrix multiplication: 2-D matmul and batched 3-D bmm with optional
-// transposes. These are the hot paths of backbone training; the raw kernel is
-// cache-blocked (ikj order) and parallelized over rows via the global thread
-// pool.
+// transposes. These are the hot paths of backbone training; all products
+// route through the blocked/packed SIMD driver in tensor/gemm/gemm.hpp
+// (AVX2+FMA micro-kernel with runtime dispatch, scalar fallback), which
+// parallelizes over rows via the global thread pool.
 #pragma once
 
 #include "tensor/tensor.hpp"
 
 namespace saga {
 
-/// C[M,N] = A'[M,K] x B'[K,N]; A' is A transposed when trans_a (A stored
-/// [K,M]), likewise B'. When `accumulate`, adds into C instead of overwriting.
-void matmul_kernel(const float* a, const float* b, float* c, std::int64_t m,
-                   std::int64_t n, std::int64_t k, bool trans_a, bool trans_b,
-                   bool accumulate);
-
 /// 2-D matrix product with autograd. Shapes: [M,K] x [K,N] -> [M,N].
+/// (Raw buffer products go through saga::gemm::gemm directly.)
 Tensor matmul(const Tensor& a, const Tensor& b);
 
 /// Batched matrix product with autograd and optional transposes of the last

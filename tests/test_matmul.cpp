@@ -1,7 +1,11 @@
 #include <gtest/gtest.h>
 
+#include <string>
+
 #include "gradcheck.hpp"
+#include "tensor/gemm/gemm.hpp"
 #include "tensor/matmul.hpp"
+#include "tensor/ops.hpp"
 #include "tensor/reduce.hpp"
 #include "tensor/shape_ops.hpp"
 #include "util/rng.hpp"
@@ -107,17 +111,65 @@ TEST_P(BmmGradCase, GradCheck) {
 INSTANTIATE_TEST_SUITE_P(AllTransposeCombos, BmmGradCase,
                          ::testing::Combine(::testing::Bool(), ::testing::Bool()));
 
+// Gradcheck with a NON-uniform upstream gradient. sum(bmm(...)) makes the
+// incoming dC all-ones, which cannot distinguish dC from dC^T — exactly the
+// kind of bug the hand-derived index gymnastics in the four bmm backward
+// branches could hide. Weighting the output with a fixed random tensor makes
+// dC = W, so any transposed/misindexed read of dC shifts the gradients.
+class BmmWeightedGradCase
+    : public ::testing::TestWithParam<std::tuple<bool, bool>> {};
+
+TEST_P(BmmWeightedGradCase, GradCheckNonUniformUpstream) {
+  const auto [trans_a, trans_b] = GetParam();
+  util::Rng rng(6);
+  const std::int64_t batch = 2, m = 5, k = 3, n = 4;  // distinct, ragged dims
+  Tensor a = trans_a ? Tensor::randn({batch, k, m}, rng)
+                     : Tensor::randn({batch, m, k}, rng);
+  Tensor b = trans_b ? Tensor::randn({batch, n, k}, rng)
+                     : Tensor::randn({batch, k, n}, rng);
+  Tensor w = Tensor::randn({batch, m, n}, rng);  // constant, no grad
+  saga::testing::check_gradients(
+      [&, ta = trans_a, tb = trans_b]() {
+        return sum(mul(bmm(a, b, ta, tb), w));
+      },
+      {a, b});
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTransposeCombos, BmmWeightedGradCase,
+                         ::testing::Combine(::testing::Bool(), ::testing::Bool()));
+
 TEST(Bmm, RejectsBatchMismatch) {
   EXPECT_THROW(bmm(Tensor::zeros({2, 3, 4}), Tensor::zeros({3, 4, 5})),
                std::invalid_argument);
+}
+
+// Error-message parity with matmul: bmm's dim/batch throws must name both
+// offending shapes.
+TEST(Bmm, ErrorsIncludeShapes) {
+  const auto what_of = [](auto&& fn) -> std::string {
+    try {
+      fn();
+    } catch (const std::invalid_argument& e) {
+      return e.what();
+    }
+    return "";
+  };
+  const std::string dim_msg = what_of(
+      [] { bmm(Tensor::zeros({2, 3}), Tensor::zeros({2, 3, 4})); });
+  EXPECT_NE(dim_msg.find("[2, 3]"), std::string::npos) << dim_msg;
+  EXPECT_NE(dim_msg.find("[2, 3, 4]"), std::string::npos) << dim_msg;
+  const std::string batch_msg = what_of(
+      [] { bmm(Tensor::zeros({2, 3, 4}), Tensor::zeros({3, 4, 5})); });
+  EXPECT_NE(batch_msg.find("[2, 3, 4]"), std::string::npos) << batch_msg;
+  EXPECT_NE(batch_msg.find("[3, 4, 5]"), std::string::npos) << batch_msg;
 }
 
 TEST(MatmulKernel, AccumulateAddsIntoOutput) {
   const std::vector<float> a{1.0F, 2.0F};      // [1,2]
   const std::vector<float> b{3.0F, 4.0F};      // [2,1]
   std::vector<float> c{10.0F};                 // [1,1]
-  matmul_kernel(a.data(), b.data(), c.data(), 1, 1, 2, false, false,
-                /*accumulate=*/true);
+  gemm::gemm(a.data(), b.data(), c.data(), 1, 1, 2, false, false,
+             /*accumulate=*/true);
   EXPECT_NEAR(c[0], 10.0F + 11.0F, 1e-5F);
 }
 
