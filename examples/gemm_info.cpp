@@ -9,6 +9,10 @@ int main() {
   std::cout << "gemm dispatch kernel: " << saga::gemm::kernel_name() << "\n";
   std::cout << "cpu supports avx2+fma: "
             << (saga::gemm::cpu_supports_avx2() ? "yes" : "no") << "\n";
+  std::cout << "cpu supports avx512f: "
+            << (saga::gemm::cpu_supports_avx512f() ? "yes" : "no")
+            << " (no avx512 kernel yet; readiness probe for the ROADMAP "
+               "follow-up)\n";
   std::cout << "available kernels:";
   for (const saga::gemm::Kernel k : saga::gemm::available_kernels()) {
     std::cout << " " << saga::gemm::kernel_name(k);

@@ -5,6 +5,10 @@
 #   ./scripts/check.sh            release build + full ctest suite
 #   ./scripts/check.sh --strict   same, with warnings-as-errors into
 #                                 <repo>/build-strict (the CI `strict` job)
+#   ./scripts/check.sh --tsan     ThreadSanitizer build into <repo>/build-tsan,
+#                                 running the serve concurrency suite (the
+#                                 dispatcher/router threading is what TSan is
+#                                 for; the full suite under TSan is too slow)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -13,6 +17,14 @@ BUILD_DIR=build
 if [[ "${1:-}" == "--strict" ]]; then
   BUILD_DIR=build-strict
   cmake -B "$BUILD_DIR" -S . -DSAGA_WARNINGS_AS_ERRORS=ON
+elif [[ "${1:-}" == "--tsan" ]]; then
+  BUILD_DIR=build-tsan
+  cmake -B "$BUILD_DIR" -S . -DSAGA_TSAN=ON -DSAGA_BUILD_BENCH=OFF \
+    -DSAGA_BUILD_EXAMPLES=OFF
+  cmake --build "$BUILD_DIR" -j "$(nproc)" --target test_serve
+  cd "$BUILD_DIR"
+  ctest --output-on-failure -R '^test_serve$'
+  exit 0
 else
   cmake -B "$BUILD_DIR" -S .
 fi

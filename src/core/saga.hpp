@@ -11,7 +11,7 @@
 //   bo/        Gaussian Process + Expected Improvement, LWS (§VI, Alg. 1)
 //   baselines/ CL-HAR, TPN, IMU augmentations
 //   core/      Pipeline: one API over every method the paper compares
-//   serve/     deployment: Artifact model bundles + batched inference Engine
+//   serve/     deployment: Artifact bundles + async batched Engine + Router
 //
 // The tensor/, nn/, and util/ layers are implementation substrate and are
 // pulled in transitively; include their headers directly when you need them.
@@ -35,6 +35,7 @@
 #include "models/classifier.hpp"    // IWYU pragma: export
 #include "serve/artifact.hpp"       // IWYU pragma: export
 #include "serve/engine.hpp"         // IWYU pragma: export
+#include "serve/router.hpp"         // IWYU pragma: export
 #include "signal/fft.hpp"           // IWYU pragma: export
 #include "signal/keypoints.hpp"     // IWYU pragma: export
 #include "signal/period.hpp"        // IWYU pragma: export

@@ -11,15 +11,46 @@ namespace saga::serve {
 
 namespace {
 
+/// Consecutive bulk-free batches the dispatcher tolerates while bulk work is
+/// pending before it reserves the next batch's first slot for the oldest
+/// bulk request. Bounds bulk queueing delay to ~kBulkStarvationLimit + 1
+/// batches under a sustained interactive flood.
+constexpr std::uint64_t kBulkStarvationLimit = 3;
+
 /// Rejects bad configs before the constructor builds any models.
 EngineConfig checked(EngineConfig config) {
   if (config.max_batch_size <= 0) {
     throw std::invalid_argument("Engine: max_batch_size must be positive");
   }
+  if (config.batch_window_us < 0) {
+    throw std::invalid_argument("Engine: batch_window_us must be >= 0");
+  }
+  if (config.max_queue_depth <= 0) {
+    throw std::invalid_argument("Engine: max_queue_depth must be positive");
+  }
   return config;
 }
 
 }  // namespace
+
+bool ResponseHandle::ready() const {
+  return future_.valid() &&
+         future_.wait_for(std::chrono::seconds(0)) == std::future_status::ready;
+}
+
+bool ResponseHandle::wait_for(std::chrono::microseconds timeout) const {
+  return future_.valid() &&
+         future_.wait_for(timeout) == std::future_status::ready;
+}
+
+Prediction ResponseHandle::get() {
+  detail::Fulfilled fulfilled = future_.get();
+  latency_ms_ = std::chrono::duration<double, std::milli>(fulfilled.completed -
+                                                          submitted_)
+                    .count();
+  batch_index_ = fulfilled.batch_index;
+  return std::move(fulfilled.prediction);
+}
 
 Engine::Engine(Artifact artifact, EngineConfig config)
     : artifact_(std::move(artifact)),
@@ -50,16 +81,21 @@ void Engine::shutdown() {
   });
 }
 
-Engine::Request Engine::make_request(std::span<const float> window) const {
+Engine::Request Engine::make_request(std::span<const float> window,
+                                     const RequestOptions& options) const {
   const auto expected = static_cast<std::size_t>(artifact_.window_length() *
                                                  artifact_.channels());
   if (window.size() != expected) {
     throw std::invalid_argument(
-        "Engine::predict: window has " + std::to_string(window.size()) +
+        "Engine::submit: window has " + std::to_string(window.size()) +
         " values, expected " + std::to_string(artifact_.window_length()) + "x" +
         std::to_string(artifact_.channels()) + " = " + std::to_string(expected));
   }
+  if (options.deadline.count() < 0) {
+    throw std::invalid_argument("Engine::submit: deadline must be >= 0");
+  }
   Request request;
+  request.priority = options.priority;
   request.window.assign(window.begin(), window.end());
   if (config_.apply_normalization && !artifact_.norm_mean.empty()) {
     const auto channels = static_cast<std::size_t>(artifact_.channels());
@@ -72,76 +108,198 @@ Engine::Request Engine::make_request(std::span<const float> window) const {
   return request;
 }
 
-std::future<Prediction> Engine::enqueue(std::span<const float> window) {
-  Request request = make_request(window);
-  std::future<Prediction> result = request.result.get_future();
+std::vector<ResponseHandle> Engine::enqueue_all(std::vector<Request>& staged,
+                                                Clock::time_point submitted) {
+  std::vector<ResponseHandle> handles;
+  handles.reserve(staged.size());
+  for (Request& request : staged) {
+    handles.push_back(ResponseHandle(request.result.get_future(), submitted));
+  }
   {
     const std::lock_guard<std::mutex> lock(mutex_);
     if (stopping_) {
-      throw std::runtime_error("Engine::predict: engine is shut down");
+      throw std::runtime_error("Engine::submit: engine is shut down");
     }
-    queue_.push_back(std::move(request));
+    const std::size_t queued = interactive_.size() + bulk_.size();
+    if (queued + staged.size() >
+        static_cast<std::size_t>(config_.max_queue_depth)) {
+      stats_.rejected += staged.size();
+      throw QueueFullError(
+          "Engine::submit: queue full (" + std::to_string(queued) + " of " +
+          std::to_string(config_.max_queue_depth) +
+          " pending requests); shed load or retry");
+    }
+    for (Request& request : staged) {
+      (request.priority == Priority::kBulk ? bulk_ : interactive_)
+          .push_back(std::move(request));
+    }
   }
   queue_cv_.notify_one();
-  return result;
+  return handles;
 }
 
-Prediction Engine::predict(std::span<const float> window) {
-  return enqueue(window).get();
+void Engine::stamp_deadlines(Request& request, Clock::time_point submitted,
+                             const RequestOptions& options) const {
+  // How long the request may wait for its batch to fill: the engine-wide
+  // batch window, tightened by any per-request deadline. Greedy engines
+  // (batch_window_us == 0) launch as soon as the dispatcher is free, so a
+  // deadline can only ever shorten the wait, never extend it. deadline_at
+  // stays time_point::max() for requests with no explicit deadline, so the
+  // expired-first batch fill only ever applies to real deadlines.
+  auto wait = std::chrono::microseconds(config_.batch_window_us);
+  if (options.deadline.count() > 0) {
+    request.deadline_at = submitted + options.deadline;
+    if (options.deadline < wait) wait = options.deadline;
+  }
+  request.launch_by = submitted + wait;
+}
+
+ResponseHandle Engine::submit(std::span<const float> window,
+                              RequestOptions options) {
+  std::vector<Request> staged;
+  staged.push_back(make_request(window, options));
+  const Clock::time_point submitted = Clock::now();
+  stamp_deadlines(staged.front(), submitted, options);
+  return std::move(enqueue_all(staged, submitted).front());
+}
+
+Prediction Engine::predict(std::span<const float> window,
+                           RequestOptions options) {
+  return submit(window, options).get();
 }
 
 std::vector<Prediction> Engine::predict_batch(
-    const std::vector<std::vector<float>>& windows) {
+    const std::vector<std::vector<float>>& windows, RequestOptions options) {
+  // A group larger than the queue bound could never be admitted whole, so
+  // retrying would loop forever — reject it as a usage error, distinct from
+  // transient QueueFullError backpressure.
+  if (windows.size() > static_cast<std::size_t>(config_.max_queue_depth)) {
+    throw std::invalid_argument(
+        "Engine::predict_batch: " + std::to_string(windows.size()) +
+        " windows can never fit the max_queue_depth " +
+        std::to_string(config_.max_queue_depth) +
+        " bound; split the group or raise the bound");
+  }
   // Validate and stage every window before publishing anything, then push
   // them all under one lock: a bad window enqueues nothing, and the
   // dispatcher sees the whole group at once so it can coalesce up to
   // max_batch_size instead of waking on a batch of one.
   std::vector<Request> staged;
   staged.reserve(windows.size());
-  for (const auto& window : windows) staged.push_back(make_request(window));
-  std::vector<std::future<Prediction>> pending;
-  pending.reserve(staged.size());
-  for (auto& request : staged) pending.push_back(request.result.get_future());
-  {
-    const std::lock_guard<std::mutex> lock(mutex_);
-    if (stopping_) {
-      throw std::runtime_error("Engine::predict_batch: engine is shut down");
-    }
-    for (auto& request : staged) queue_.push_back(std::move(request));
+  for (const auto& window : windows) {
+    staged.push_back(make_request(window, options));
   }
-  queue_cv_.notify_one();
+  const Clock::time_point submitted = Clock::now();
+  for (Request& request : staged) stamp_deadlines(request, submitted, options);
+  std::vector<ResponseHandle> handles = enqueue_all(staged, submitted);
   std::vector<Prediction> results;
-  results.reserve(pending.size());
-  for (auto& future : pending) results.push_back(future.get());
+  results.reserve(handles.size());
+  for (auto& handle : handles) results.push_back(handle.get());
   return results;
+}
+
+std::size_t Engine::queue_depth() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return interactive_.size() + bulk_.size() + in_flight_;
+}
+
+std::vector<Engine::Request> Engine::take_batch_locked(Clock::time_point now) {
+  const auto cap = static_cast<std::size_t>(config_.max_batch_size);
+  std::vector<Request> batch;
+  batch.reserve(std::min(cap, interactive_.size() + bulk_.size()));
+  // Deadline contract first: a request whose explicit deadline has expired
+  // must be in the batch its expiry launched, ahead of priority order —
+  // otherwise an expired kBulk request could sit behind interactive traffic
+  // while its stale launch_by also kept collapsing the batch window to
+  // greedy dispatch for everyone else.
+  const auto take_expired = [&](std::deque<Request>& queue) {
+    for (auto it = queue.begin(); it != queue.end() && batch.size() < cap;) {
+      if (it->deadline_at <= now) {
+        batch.push_back(std::move(*it));
+        it = queue.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  };
+  take_expired(interactive_);
+  take_expired(bulk_);
+  // Anti-starvation: under a sustained interactive flood, every
+  // kBulkStarvationLimit + 1 batches reserve the next slot for the oldest
+  // bulk request.
+  if (batch.size() < cap && !bulk_.empty() &&
+      batches_since_bulk_ >= kBulkStarvationLimit) {
+    batch.push_back(std::move(bulk_.front()));
+    bulk_.pop_front();
+  }
+  while (batch.size() < cap && !interactive_.empty()) {
+    batch.push_back(std::move(interactive_.front()));
+    interactive_.pop_front();
+  }
+  while (batch.size() < cap && !bulk_.empty()) {
+    batch.push_back(std::move(bulk_.front()));
+    bulk_.pop_front();
+  }
+  std::uint64_t bulk_count = 0;
+  for (const Request& request : batch) {
+    if (request.priority == Priority::kBulk) ++bulk_count;
+  }
+  if (bulk_count > 0) {
+    batches_since_bulk_ = 0;
+  } else if (!bulk_.empty()) {
+    ++batches_since_bulk_;
+  } else {
+    batches_since_bulk_ = 0;  // nothing pending to starve
+  }
+  stats_.bulk_requests += bulk_count;
+  return batch;
 }
 
 void Engine::dispatch_loop() {
   // The dispatcher owns all model access; gradients are never needed.
   NoGradGuard no_grad;
+  std::unique_lock<std::mutex> lock(mutex_);
   for (;;) {
-    std::vector<Request> batch;
-    {
-      std::unique_lock<std::mutex> lock(mutex_);
-      queue_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
-      if (queue_.empty()) return;  // stopping_ and fully drained
-      const auto take = std::min<std::size_t>(
-          queue_.size(), static_cast<std::size_t>(config_.max_batch_size));
-      batch.reserve(take);
-      for (std::size_t i = 0; i < take; ++i) {
-        batch.push_back(std::move(queue_.front()));
-        queue_.pop_front();
-      }
-      stats_.requests += batch.size();
-      stats_.batches += 1;
-      stats_.largest_batch = std::max<std::uint64_t>(stats_.largest_batch,
-                                                     batch.size());
+    if (interactive_.empty() && bulk_.empty()) {
+      if (stopping_) return;
+      queue_cv_.wait(lock);
+      continue;
     }
-    run_batch(batch);
+    const std::size_t total = interactive_.size() + bulk_.size();
+    if (!stopping_ &&
+        total < static_cast<std::size_t>(config_.max_batch_size)) {
+      // The batch is not full: hold it open until the earliest launch_by
+      // across all queued requests (each is enqueue time + batch window,
+      // tightened by that request's deadline). Greedy engines have
+      // launch_by == enqueue time, so they fall straight through.
+      Clock::time_point earliest = Clock::time_point::max();
+      for (const Request& request : interactive_) {
+        earliest = std::min(earliest, request.launch_by);
+      }
+      for (const Request& request : bulk_) {
+        earliest = std::min(earliest, request.launch_by);
+      }
+      if (Clock::now() < earliest) {
+        queue_cv_.wait_until(lock, earliest);
+        continue;  // re-evaluate: new arrivals may have filled the batch
+      }
+    }
+    std::vector<Request> batch = take_batch_locked(Clock::now());
+    stats_.requests += batch.size();
+    stats_.batches += 1;
+    stats_.largest_batch =
+        std::max<std::uint64_t>(stats_.largest_batch, batch.size());
+    in_flight_ += batch.size();
+    const std::uint64_t batch_index = stats_.batches;
+    lock.unlock();
+    run_batch(batch, batch_index);
+    lock.lock();
+    in_flight_ -= batch.size();
   }
 }
 
-void Engine::run_batch(std::vector<Request>& batch) {
+void Engine::run_batch(std::vector<Request>& batch,
+                       std::uint64_t batch_index) {
   try {
     const auto b = static_cast<std::int64_t>(batch.size());
     const std::int64_t t = artifact_.window_length();
@@ -156,12 +314,16 @@ void Engine::run_batch(std::vector<Request>& batch) {
     const std::vector<std::int64_t> labels = argmax_lastdim(logits);
     const auto view = logits.data();
     const std::int64_t classes = artifact_.num_classes();
+    const Clock::time_point completed = Clock::now();
     for (std::int64_t i = 0; i < b; ++i) {
-      Prediction prediction;
-      prediction.label = static_cast<std::int32_t>(labels[static_cast<std::size_t>(i)]);
+      detail::Fulfilled fulfilled;
+      fulfilled.prediction.label =
+          static_cast<std::int32_t>(labels[static_cast<std::size_t>(i)]);
       const auto* row = view.data() + i * classes;
-      prediction.logits.assign(row, row + classes);
-      batch[static_cast<std::size_t>(i)].result.set_value(std::move(prediction));
+      fulfilled.prediction.logits.assign(row, row + classes);
+      fulfilled.completed = completed;
+      fulfilled.batch_index = batch_index;
+      batch[static_cast<std::size_t>(i)].result.set_value(std::move(fulfilled));
     }
   } catch (...) {
     for (Request& request : batch) {

@@ -1,29 +1,52 @@
-// serve::Engine — a thread-safe batched inference front-end over a loaded
-// serve::Artifact: the ROADMAP's "heavy traffic" serving seam.
+// serve::Engine — an asynchronous, deadline- and priority-aware batched
+// inference front-end over a loaded serve::Artifact: the ROADMAP's "heavy
+// traffic" serving seam.
 //
-// Any number of client threads call predict()/predict_batch() concurrently.
-// Requests are queued and a dedicated dispatcher thread coalesces up to
-// max_batch_size pending windows into one [B, T, C] forward pass (whose
-// tensor ops fan out over util::ThreadPool via util::parallel_for), then
-// fulfils each caller's future. Batching amortizes per-call fixed costs
-// without changing results: every sample in a batch is computed by exactly
-// the same per-row arithmetic as a batch of one, so micro-batched
-// predictions are bit-identical to the single-window path (tested).
+// The primary API is submit(): any number of client threads hand a window to
+// the engine together with RequestOptions{deadline, priority} and get back a
+// future-backed ResponseHandle they can poll, wait on, or block on — so one
+// caller can fan out many requests before collecting any result. predict()
+// and predict_batch() remain as thin submit()+get() wrappers, so existing
+// blocking callers migrate mechanically.
+//
+// A dedicated dispatcher thread coalesces pending windows into one [B, T, C]
+// forward pass (whose tensor ops fan out over util::ThreadPool). Three knobs
+// shape the batching:
+//
+//   batch_window_us  how long the dispatcher may hold a non-full batch open
+//                    waiting for more arrivals (0 = greedy: launch whatever
+//                    is queued). Per-request deadlines cap the wait: a
+//                    request with deadline d must be launched within d of
+//                    its submission even if the window has not elapsed.
+//   priority         two-level queue: kInteractive requests are taken before
+//                    kBulk backfill, except that after kBulkStarvationLimit
+//                    consecutive bulk-free batches the oldest bulk request is
+//                    served first, so backfill cannot starve.
+//   max_queue_depth  bounded queue providing backpressure: submissions
+//                    beyond this many undispatched requests are rejected
+//                    with QueueFullError instead of growing without bound.
+//
+// Batching never changes results: every sample in a batch is computed by the
+// same per-row arithmetic as a batch of one, so batched predictions are
+// bit-identical to the single-window path regardless of deadline/priority
+// options (tested).
 //
 // Consumes: raw windows of window_length x channels floats (optionally
 // normalized via the artifact's per-channel stats). Produces: Prediction
 // {argmax label, logits}. The Engine owns its models; client threads never
-// touch them, which is what makes concurrent use safe. predict() blocks the
-// calling thread until its result is ready; after shutdown() (or during
-// destruction) further predict() calls throw.
+// touch them, which is what makes concurrent use safe. After shutdown() (or
+// during destruction) further submissions throw std::runtime_error; requests
+// already queued are drained and fulfilled.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <future>
 #include <mutex>
 #include <span>
+#include <stdexcept>
 #include <thread>
 #include <vector>
 
@@ -33,9 +56,39 @@
 
 namespace saga::serve {
 
+/// Two-level request priority. kInteractive requests jump ahead of kBulk
+/// backfill in the dispatcher's queue (subject to the anti-starvation guard).
+enum class Priority : std::uint8_t { kInteractive = 0, kBulk = 1 };
+
+/// Per-request submission options.
+struct RequestOptions {
+  Priority priority = Priority::kInteractive;
+  /// Upper bound on how long this request may sit in the queue waiting for
+  /// its batch to fill. Zero means "no per-request bound": the engine's
+  /// batch_window_us (if any) governs. A deadline shorter than the engine's
+  /// batch window forces an earlier launch, and an expired deadline pulls
+  /// the request into the next batch ahead of priority order (so a kBulk
+  /// deadline cannot be starved past it by interactive traffic). It is a
+  /// batching bound, not a completion-time guarantee.
+  std::chrono::microseconds deadline{0};
+};
+
+/// Thrown by submit()/predict() when the engine's bounded request queue is
+/// full (backpressure): the caller should shed load or retry later.
+struct QueueFullError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
 struct EngineConfig {
   /// Most pending requests coalesced into one forward pass.
   std::int64_t max_batch_size = 16;
+  /// How long the dispatcher may hold a non-full batch open waiting for more
+  /// requests, in microseconds. 0 = greedy (launch whatever is queued the
+  /// moment the dispatcher is free) — the pre-async behaviour.
+  std::int64_t batch_window_us = 0;
+  /// Bound on undispatched requests; submissions beyond it throw
+  /// QueueFullError. Must be positive.
+  std::int64_t max_queue_depth = 1024;
   /// Apply the artifact's per-channel normalization stats (when present) to
   /// incoming windows. Disable when callers pre-normalize.
   bool apply_normalization = true;
@@ -47,11 +100,62 @@ struct Prediction {
   std::vector<float> logits;  // [num_classes]
 };
 
+namespace detail {
+/// What the dispatcher actually delivers: the prediction plus completion
+/// bookkeeping the ResponseHandle turns into latency/batch introspection.
+struct Fulfilled {
+  Prediction prediction;
+  std::chrono::steady_clock::time_point completed{};
+  std::uint64_t batch_index = 0;  // stats().batches value of the fulfilling pass
+};
+}  // namespace detail
+
+/// The caller's side of one submitted request: a movable, future-backed
+/// handle. Exactly one of get() may be called; poll with ready()/wait_for()
+/// first to fan out without blocking. After get() returns, latency_ms() and
+/// batch_index() report how the request was served.
+class ResponseHandle {
+ public:
+  ResponseHandle() = default;
+  ResponseHandle(ResponseHandle&&) = default;
+  ResponseHandle& operator=(ResponseHandle&&) = default;
+
+  /// True when this handle is attached to a submission whose get() has not
+  /// been consumed yet.
+  bool valid() const noexcept { return future_.valid(); }
+  /// Non-blocking: true when the result (or error) is ready to collect.
+  bool ready() const;
+  /// Blocks up to `timeout`; true when the result became ready.
+  bool wait_for(std::chrono::microseconds timeout) const;
+  /// Blocks until ready and returns the prediction; rethrows any inference
+  /// error. Throws std::future_error if called twice or on an empty handle.
+  Prediction get();
+
+  /// Submission-to-completion latency of this request; valid after get().
+  double latency_ms() const noexcept { return latency_ms_; }
+  /// Which forward pass (Engine stats().batches ordinal, 1-based) fulfilled
+  /// this request; valid after get(). Lets tests observe batching order.
+  std::uint64_t batch_index() const noexcept { return batch_index_; }
+
+ private:
+  friend class Engine;
+  ResponseHandle(std::future<detail::Fulfilled> future,
+                 std::chrono::steady_clock::time_point submitted)
+      : future_(std::move(future)), submitted_(submitted) {}
+
+  std::future<detail::Fulfilled> future_;
+  std::chrono::steady_clock::time_point submitted_{};
+  double latency_ms_ = -1.0;
+  std::uint64_t batch_index_ = 0;
+};
+
 /// Monotonic service counters (a consistent snapshot via Engine::stats()).
 struct EngineStats {
   std::uint64_t requests = 0;       // windows predicted
   std::uint64_t batches = 0;        // forward passes run
   std::uint64_t largest_batch = 0;  // max windows in one forward pass
+  std::uint64_t bulk_requests = 0;  // subset of `requests` with Priority::kBulk
+  std::uint64_t rejected = 0;       // submissions refused by the bounded queue
   double mean_batch() const noexcept {
     return batches == 0 ? 0.0
                         : static_cast<double>(requests) /
@@ -68,17 +172,32 @@ class Engine {
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
 
-  /// Predicts one window (window_length x channels floats, row-major
-  /// [T x C]). Thread-safe; blocks until the result is ready. Throws
-  /// std::invalid_argument on a wrong-sized window and std::runtime_error
+  /// Submits one window (window_length x channels floats, row-major [T x C])
+  /// for asynchronous prediction. Thread-safe; returns immediately with a
+  /// handle. Throws std::invalid_argument on a wrong-sized window,
+  /// QueueFullError when the bounded queue is full, and std::runtime_error
   /// after shutdown.
-  Prediction predict(std::span<const float> window);
+  ResponseHandle submit(std::span<const float> window,
+                        RequestOptions options = {});
+
+  /// Blocking convenience: submit(window, options).get().
+  Prediction predict(std::span<const float> window,
+                     RequestOptions options = {});
 
   /// Predicts many windows; equivalent to (and bit-identical with) calling
-  /// predict() once per window, but enqueues them all at once so the
-  /// dispatcher can batch them together.
+  /// predict() once per window, but submits them all before collecting any
+  /// result so the dispatcher can batch them together. All-or-nothing under
+  /// backpressure: either every window is enqueued or QueueFullError is
+  /// thrown and none are. A group larger than max_queue_depth could never
+  /// be admitted and throws std::invalid_argument instead (retrying would
+  /// never help).
   std::vector<Prediction> predict_batch(
-      const std::vector<std::vector<float>>& windows);
+      const std::vector<std::vector<float>>& windows,
+      RequestOptions options = {});
+
+  /// Undispatched + in-flight requests right now — the router's routing
+  /// signal and the backpressure measure.
+  std::size_t queue_depth() const;
 
   /// Drains pending requests, then stops the dispatcher. Idempotent; called
   /// by the destructor.
@@ -92,15 +211,36 @@ class Engine {
   EngineStats stats() const;
 
  private:
+  using Clock = std::chrono::steady_clock;
+
   struct Request {
     std::vector<float> window;  // already normalized, size T*C
-    std::promise<Prediction> result;
+    Priority priority = Priority::kInteractive;
+    Clock::time_point launch_by{};  // latest batch-launch time for this request
+    /// Absolute expiry of the per-request deadline (time_point::max() when
+    /// none). Once past, the request is pulled into the next batch ahead of
+    /// priority order — a deadline overrides queueing policy, not just the
+    /// batch window.
+    Clock::time_point deadline_at = Clock::time_point::max();
+    std::promise<detail::Fulfilled> result;
   };
 
-  Request make_request(std::span<const float> window) const;
-  std::future<Prediction> enqueue(std::span<const float> window);
+  Request make_request(std::span<const float> window,
+                       const RequestOptions& options) const;
+  /// Stamps launch_by (batch window capped by the per-request deadline) and
+  /// deadline_at onto a staged request.
+  void stamp_deadlines(Request& request, Clock::time_point submitted,
+                       const RequestOptions& options) const;
+  /// Appends `staged` to the queues under one lock; all-or-nothing against
+  /// the depth bound. Returns the handles in submission order.
+  std::vector<ResponseHandle> enqueue_all(std::vector<Request>& staged,
+                                          Clock::time_point submitted);
   void dispatch_loop();
-  void run_batch(std::vector<Request>& batch);
+  /// Pops the next batch (mutex_ must be held). Deadline-expired requests
+  /// are taken first (the deadline contract), then priority order with the
+  /// bulk anti-starvation guard.
+  std::vector<Request> take_batch_locked(Clock::time_point now);
+  void run_batch(std::vector<Request>& batch, std::uint64_t batch_index);
 
   Artifact artifact_;
   EngineConfig config_;
@@ -109,7 +249,10 @@ class Engine {
 
   mutable std::mutex mutex_;
   std::condition_variable queue_cv_;
-  std::deque<Request> queue_;
+  std::deque<Request> interactive_;
+  std::deque<Request> bulk_;
+  std::size_t in_flight_ = 0;          // popped but not yet fulfilled
+  std::uint64_t batches_since_bulk_ = 0;
   EngineStats stats_;
   bool stopping_ = false;
   std::once_flag join_once_;  // serializes concurrent shutdown() joins

@@ -2,14 +2,113 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
+#include <cstdio>
 #include <thread>
+#include <utility>
 
 #include "tensor/tensor.hpp"
 #include "util/rng.hpp"
 
 namespace saga::serve {
 
+namespace {
+
 using Clock = std::chrono::steady_clock;
+
+/// One client's worth of traffic against `submit`. Closed-loop waits for
+/// each result before the next request; open-loop submits on a Poisson
+/// schedule and collects results afterwards (latency is stamped inside the
+/// engine at fulfilment, so deferred collection does not inflate it).
+template <typename SubmitFn>
+void run_client(SubmitFn&& submit, const LoadOptions& options,
+                std::uint64_t client_seed, std::int64_t window_values,
+                std::vector<double>& latencies, std::uint64_t& rejected,
+                std::uint64_t& errors) {
+  util::Rng rng(client_seed);
+  const Tensor window = Tensor::randn({window_values}, rng);
+  latencies.reserve(options.per_client);
+
+  if (options.offered_rps <= 0.0) {
+    for (std::size_t r = 0; r < options.per_client; ++r) {
+      try {
+        ResponseHandle handle = submit(window.data(), options.request);
+        (void)handle.get();
+        latencies.push_back(handle.latency_ms());
+      } catch (const QueueFullError&) {
+        ++rejected;
+      } catch (const std::exception&) {
+        // Engine-side inference failure delivered through the promise: the
+        // report counts it; a load run must not terminate the process.
+        ++errors;
+      }
+    }
+    return;
+  }
+
+  // Open loop: exponential inter-arrival gaps at this client's share of the
+  // offered rate. Arrival times are precomputed from the schedule origin so
+  // a slow submission does not shift later arrivals (no coordinated
+  // omission).
+  const double rate =
+      options.offered_rps / static_cast<double>(options.clients);
+  std::vector<ResponseHandle> pending;
+  pending.reserve(options.per_client);
+  const Clock::time_point origin = Clock::now();
+  double arrival_s = 0.0;
+  for (std::size_t r = 0; r < options.per_client; ++r) {
+    arrival_s += -std::log(1.0 - rng.uniform(0.0, 1.0)) / rate;
+    std::this_thread::sleep_until(
+        origin + std::chrono::duration_cast<Clock::duration>(
+                     std::chrono::duration<double>(arrival_s)));
+    try {
+      pending.push_back(submit(window.data(), options.request));
+    } catch (const QueueFullError&) {
+      ++rejected;
+    }
+  }
+  for (ResponseHandle& handle : pending) {
+    try {
+      (void)handle.get();
+      latencies.push_back(handle.latency_ms());
+    } catch (const std::exception&) {
+      ++errors;
+    }
+  }
+}
+
+template <typename SubmitFn>
+LoadReport run_load_impl(SubmitFn&& submit, std::int64_t window_values,
+                         const LoadOptions& options) {
+  std::vector<std::vector<double>> latencies(options.clients);
+  std::vector<std::uint64_t> rejected(options.clients, 0);
+  std::vector<std::uint64_t> errors(options.clients, 0);
+  std::vector<std::thread> workers;
+  workers.reserve(options.clients);
+  const auto start = Clock::now();
+  for (std::size_t w = 0; w < options.clients; ++w) {
+    workers.emplace_back([&, w] {
+      run_client(submit, options, options.seed + w, window_values,
+                 latencies[w], rejected[w], errors[w]);
+    });
+  }
+  for (auto& worker : workers) worker.join();
+
+  LoadReport report;
+  report.wall_seconds =
+      std::chrono::duration<double>(Clock::now() - start).count();
+  report.offered_rps = options.offered_rps > 0.0 ? options.offered_rps : 0.0;
+  for (std::size_t w = 0; w < options.clients; ++w) {
+    report.latencies_ms.insert(report.latencies_ms.end(),
+                               latencies[w].begin(), latencies[w].end());
+    report.rejected += rejected[w];
+    report.errors += errors[w];
+  }
+  std::sort(report.latencies_ms.begin(), report.latencies_ms.end());
+  return report;
+}
+
+}  // namespace
 
 double LoadReport::percentile_ms(double q) const noexcept {
   if (latencies_ms.empty()) return 0.0;
@@ -18,37 +117,42 @@ double LoadReport::percentile_ms(double q) const noexcept {
   return latencies_ms[std::min(index, latencies_ms.size() - 1)];
 }
 
-LoadReport run_load(Engine& engine, std::size_t clients, std::size_t per_client,
-                    std::uint64_t seed) {
+std::string LoadReport::latency_summary() const {
+  char line[128];
+  std::snprintf(line, sizeof(line),
+                "p50 %.2f  p95 %.2f  p99 %.2f  max %.2f ms",
+                percentile_ms(0.50), percentile_ms(0.95), percentile_ms(0.99),
+                percentile_ms(1.0));
+  return line;
+}
+
+LoadReport run_load(Engine& engine, const LoadOptions& options) {
   const std::int64_t values =
       engine.artifact().window_length() * engine.artifact().channels();
-  std::vector<std::vector<double>> latencies(clients);
-  std::vector<std::thread> workers;
-  workers.reserve(clients);
-  const auto start = Clock::now();
-  for (std::size_t w = 0; w < clients; ++w) {
-    workers.emplace_back([&, w] {
-      util::Rng rng(seed + w);
-      const Tensor window = Tensor::randn({values}, rng);
-      latencies[w].reserve(per_client);
-      for (std::size_t r = 0; r < per_client; ++r) {
-        const auto t0 = Clock::now();
-        (void)engine.predict(window.data());
-        latencies[w].push_back(
-            std::chrono::duration<double, std::milli>(Clock::now() - t0).count());
-      }
-    });
-  }
-  for (auto& worker : workers) worker.join();
+  return run_load_impl(
+      [&engine](std::span<const float> window, RequestOptions request) {
+        return engine.submit(window, request);
+      },
+      values, options);
+}
 
-  LoadReport report;
-  report.wall_seconds = std::chrono::duration<double>(Clock::now() - start).count();
-  for (const auto& per_thread : latencies) {
-    report.latencies_ms.insert(report.latencies_ms.end(), per_thread.begin(),
-                               per_thread.end());
-  }
-  std::sort(report.latencies_ms.begin(), report.latencies_ms.end());
-  return report;
+LoadReport run_load(Router& router, const LoadOptions& options) {
+  const std::int64_t values =
+      router.artifact().window_length() * router.artifact().channels();
+  return run_load_impl(
+      [&router](std::span<const float> window, RequestOptions request) {
+        return router.submit(window, request);
+      },
+      values, options);
+}
+
+LoadReport run_load(Engine& engine, std::size_t clients,
+                    std::size_t per_client, std::uint64_t seed) {
+  LoadOptions options;
+  options.clients = clients;
+  options.per_client = per_client;
+  options.seed = seed;
+  return run_load(engine, options);
 }
 
 }  // namespace saga::serve

@@ -1,23 +1,54 @@
-// Load generation for serve::Engine: N client threads issue M blocking
-// predict() calls each with per-thread random windows, and the per-request
-// latencies come back as one sorted sample for percentile reporting. Used by
+// Load generation for the serve layer: N client threads drive an Engine or
+// a Router through the async submit() API and the per-request latencies come
+// back as one sorted sample for percentile reporting. Used by
 // examples/serve_throughput and bench/bench_serve_throughput so the two
 // report on exactly the same workload.
 //
-// Consumes: a running Engine. Produces: a LoadReport (pure data). run_load
-// blocks until every client thread has joined; the Engine outlives the call.
+// Two arrival disciplines:
+//   closed-loop (offered_rps == 0)  each client issues its next request the
+//       moment the previous one returns — measures capacity under a fixed
+//       concurrency level.
+//   open-loop (offered_rps > 0)     arrivals are a Poisson process at the
+//       given aggregate rate, split evenly across clients; clients submit on
+//       schedule WITHOUT waiting for results, so queueing delay shows up in
+//       the latency sample instead of throttling the arrival stream. This is
+//       the discipline that makes batch-window/deadline knobs measurable:
+//       at fixed offered load, a larger window trades p50 for batch size.
+//
+// Consumes: a running Engine or Router. Produces: a LoadReport (pure data;
+// latency measured submission -> fulfilment inside the engine, so deferred
+// result collection does not inflate it). QueueFullError rejections and
+// engine-side inference errors are counted, not fatal. run_load blocks
+// until every client thread has joined; the target outlives the call.
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "serve/engine.hpp"
+#include "serve/router.hpp"
 
 namespace saga::serve {
 
+struct LoadOptions {
+  std::size_t clients = 4;
+  std::size_t per_client = 50;
+  std::uint64_t seed = 1;
+  /// 0 = closed-loop. >0 = open-loop Poisson arrivals at this aggregate
+  /// requests/sec across all clients.
+  double offered_rps = 0.0;
+  /// Priority/deadline applied to every generated request.
+  RequestOptions request;
+};
+
 struct LoadReport {
-  std::vector<double> latencies_ms;  // one entry per request, sorted ascending
+  std::vector<double> latencies_ms;  // one entry per completed request, sorted
   double wall_seconds = 0.0;
+  std::uint64_t rejected = 0;  // submissions refused by the bounded queue
+  std::uint64_t errors = 0;    // requests that failed engine-side (rethrown
+                               // from get()); counted, not fatal
+  double offered_rps = 0.0;    // echo of the option (0 for closed-loop)
 
   double requests_per_second() const noexcept {
     return wall_seconds <= 0.0
@@ -26,10 +57,18 @@ struct LoadReport {
   }
   /// Latency at quantile `q` in [0, 1] (0 when no requests ran).
   double percentile_ms(double q) const noexcept;
+  /// One line of the standard percentiles: "p50 a  p95 b  p99 c  max d ms".
+  std::string latency_summary() const;
 };
 
-/// Runs `clients` threads x `per_client` predictions against `engine`; each
-/// thread uses an independent window seeded from `seed`.
+/// Runs `options.clients` threads x `options.per_client` requests against
+/// `engine` (or `router`); each thread uses an independent window seeded
+/// from `options.seed`.
+LoadReport run_load(Engine& engine, const LoadOptions& options);
+LoadReport run_load(Router& router, const LoadOptions& options);
+
+/// Legacy closed-loop signature (pre-async API); kept so existing callers
+/// migrate mechanically.
 LoadReport run_load(Engine& engine, std::size_t clients, std::size_t per_client,
                     std::uint64_t seed = 1);
 

@@ -1,0 +1,97 @@
+#include "serve/router.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace saga::serve {
+
+Router::Router(const Artifact& artifact, RouterConfig config)
+    : config_(config) {
+  if (config_.shards == 0) {
+    throw std::invalid_argument("Router: shards must be positive");
+  }
+  shards_.reserve(config_.shards);
+  for (std::size_t s = 0; s < config_.shards; ++s) {
+    // Each Engine takes its own copy: the Engine constructor consumes the
+    // artifact's weight blobs when building its model replica.
+    shards_.push_back(std::make_unique<Engine>(artifact, config_.engine));
+  }
+}
+
+std::size_t Router::pick_shard() {
+  // Least-queue-depth with a rotating starting shard: strict "<" from a
+  // rotated origin means depth ties resolve round-robin, so an idle router
+  // spreads work instead of piling onto shard 0. The depth reads are a
+  // heuristic snapshot — a concurrent submission may land on the same
+  // shard — which is fine: the queue bound, not the router, enforces limits.
+  const std::size_t n = shards_.size();
+  const std::size_t start =
+      static_cast<std::size_t>(rotation_.fetch_add(1, std::memory_order_relaxed)) % n;
+  std::size_t best = start;
+  std::size_t best_depth = shards_[start]->queue_depth();
+  for (std::size_t i = 1; i < n && best_depth > 0; ++i) {
+    const std::size_t index = (start + i) % n;
+    const std::size_t depth = shards_[index]->queue_depth();
+    if (depth < best_depth) {
+      best = index;
+      best_depth = depth;
+    }
+  }
+  return best;
+}
+
+ResponseHandle Router::submit(std::span<const float> window,
+                              RequestOptions options) {
+  // Backpressure retry: the depth snapshot ranks shards by queued+in-flight,
+  // but admission is bounded on queued requests only, so the picked shard
+  // can be full while another still has capacity. Walk the remaining shards
+  // before giving up; the last attempt propagates its QueueFullError (and
+  // any non-backpressure error from the first attempt propagates directly).
+  const std::size_t n = shards_.size();
+  const std::size_t first = pick_shard();
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    try {
+      return shards_[(first + i) % n]->submit(window, options);
+    } catch (const QueueFullError&) {
+      // try the next shard
+    }
+  }
+  return shards_[(first + n - 1) % n]->submit(window, options);
+}
+
+Prediction Router::predict(std::span<const float> window,
+                           RequestOptions options) {
+  return submit(window, options).get();
+}
+
+void Router::shutdown() {
+  for (auto& shard : shards_) shard->shutdown();
+}
+
+std::size_t Router::queue_depth() const {
+  std::size_t depth = 0;
+  for (const auto& shard : shards_) depth += shard->queue_depth();
+  return depth;
+}
+
+EngineStats Router::stats() const {
+  EngineStats total;
+  for (const auto& shard : shards_) {
+    const EngineStats s = shard->stats();
+    total.requests += s.requests;
+    total.batches += s.batches;
+    total.largest_batch = std::max(total.largest_batch, s.largest_batch);
+    total.bulk_requests += s.bulk_requests;
+    total.rejected += s.rejected;
+  }
+  return total;
+}
+
+std::vector<EngineStats> Router::shard_stats() const {
+  std::vector<EngineStats> stats;
+  stats.reserve(shards_.size());
+  for (const auto& shard : shards_) stats.push_back(shard->stats());
+  return stats;
+}
+
+}  // namespace saga::serve

@@ -1,0 +1,83 @@
+// serve::Router — multi-Engine sharding for multi-core hosts: N identical
+// Engines, each with its own models cloned from one Artifact, behind a
+// single submit() front door.
+//
+// Each shard owns a full model replica and its own dispatcher thread, so
+// shards never contend on model state; the Router's only shared state is the
+// shard array (immutable after construction) and a rotation counter. Routing
+// is least-queue-depth: a submission goes to the shard with the fewest
+// undispatched + in-flight requests, with a rotating starting shard so ties
+// (the idle steady state) spread round-robin instead of piling onto shard 0.
+// Because every shard serves the same model, which shard handles a request
+// never changes its result — only its latency.
+//
+// Consumes: the same windows/RequestOptions as Engine::submit. Produces:
+// ResponseHandles (and aggregated EngineStats across shards). Thread-safe:
+// any number of clients may submit concurrently. shutdown() drains every
+// shard; like Engine, further submissions then throw.
+#pragma once
+
+#include <cstddef>
+#include <atomic>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "serve/engine.hpp"
+
+namespace saga::serve {
+
+struct RouterConfig {
+  /// Number of Engine replicas. Each holds a full copy of the model, so
+  /// memory scales linearly with shards.
+  std::size_t shards = 2;
+  /// Per-shard engine configuration (batching, backpressure, normalization).
+  EngineConfig engine;
+};
+
+class Router {
+ public:
+  /// Builds `config.shards` Engines, each constructed from its own copy of
+  /// `artifact`. Throws std::invalid_argument when shards == 0.
+  Router(const Artifact& artifact, RouterConfig config = {});
+
+  Router(const Router&) = delete;
+  Router& operator=(const Router&) = delete;
+
+  /// Submits to the least-loaded shard (ties rotate round-robin). Same
+  /// contract as Engine::submit; under backpressure the remaining shards
+  /// are tried in turn, so QueueFullError means every shard's bounded
+  /// queue was full.
+  ResponseHandle submit(std::span<const float> window,
+                        RequestOptions options = {});
+
+  /// Blocking convenience: submit(window, options).get().
+  Prediction predict(std::span<const float> window,
+                     RequestOptions options = {});
+
+  /// Drains and stops every shard. Idempotent (Engine::shutdown is).
+  void shutdown();
+
+  std::size_t shards() const noexcept { return shards_.size(); }
+  const Engine& shard(std::size_t index) const { return *shards_.at(index); }
+
+  /// Undispatched + in-flight requests across all shards.
+  std::size_t queue_depth() const;
+  /// Counters summed across shards (largest_batch is the max over shards).
+  EngineStats stats() const;
+  /// Per-shard counter snapshots, for load-balance introspection.
+  std::vector<EngineStats> shard_stats() const;
+
+  const RouterConfig& config() const noexcept { return config_; }
+  /// Shard 0's artifact metadata (all shards are clones of the same bundle).
+  const Artifact& artifact() const noexcept { return shards_.front()->artifact(); }
+
+ private:
+  std::size_t pick_shard();
+
+  RouterConfig config_;
+  std::vector<std::unique_ptr<Engine>> shards_;  // Engine is not movable
+  std::atomic<std::uint64_t> rotation_{0};       // tie-break start offset
+};
+
+}  // namespace saga::serve

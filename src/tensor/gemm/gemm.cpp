@@ -250,6 +250,14 @@ void zero_rows(float* c, std::int64_t ldc, std::int64_t m0, std::int64_t m1,
 
 bool cpu_supports_avx2() { return compiled_with_avx2() && cpu_has_avx2_fma(); }
 
+bool cpu_supports_avx512f() {
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+  return __builtin_cpu_supports("avx512f");
+#else
+  return false;
+#endif
+}
+
 std::vector<Kernel> available_kernels() {
   std::vector<Kernel> kernels{Kernel::kScalar, Kernel::kScalarBlocked};
   if (cpu_supports_avx2() && !force_scalar()) kernels.push_back(Kernel::kAvx2);

@@ -37,6 +37,11 @@ enum class Kernel { kAuto, kScalar, kScalarBlocked, kAvx2 };
 /// AVX2+FMA. Ignores the SAGA_FORCE_SCALAR_GEMM override.
 bool cpu_supports_avx2();
 
+/// True when the CPU reports AVX-512 Foundation. No avx512 micro-kernel
+/// exists yet (ROADMAP follow-up: wider NR, masked edge tiles); this probe
+/// is printed by examples/gemm_info so CI logs show host readiness.
+bool cpu_supports_avx512f();
+
 /// Kernels `gemm` will accept on this host, honoring SAGA_FORCE_SCALAR_GEMM
 /// (read once per process). Always contains kScalar; test harnesses iterate
 /// this list to reference-check every dispatchable path.

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <filesystem>
 #include <string>
@@ -13,6 +14,7 @@
 #include "serve/artifact.hpp"
 #include "serve/engine.hpp"
 #include "serve/loadgen.hpp"
+#include "serve/router.hpp"
 #include "tensor/grad_mode.hpp"
 #include "util/serialize.hpp"
 
@@ -219,6 +221,259 @@ TEST_F(ServeTest, NormalizationStatsApplyAndRoundTrip) {
   for (std::size_t k = 0; k < direct.logits.size(); ++k) {
     EXPECT_NEAR(via_stats.logits[k], direct.logits[k], 1e-4F);
   }
+}
+
+// ---- async submit() API: deadlines, priorities, backpressure, Router -----
+
+TEST_F(ServeTest, SubmitWithDeadlinesAndPrioritiesIsBitIdentical) {
+  // Whatever batching the deadline/priority knobs cause, results must be
+  // bit-identical to the single-window greedy path.
+  Engine single(artifact(), {.max_batch_size = 1});
+  Engine windowed(artifact(), {.max_batch_size = 8, .batch_window_us = 20000});
+
+  std::vector<RequestOptions> options(4);
+  options[1] = {.priority = Priority::kBulk};
+  options[2] = {.deadline = std::chrono::microseconds(1000)};
+  options[3] = {.priority = Priority::kBulk,
+                .deadline = std::chrono::microseconds(500)};
+  std::vector<ResponseHandle> handles;
+  for (std::int64_t i = 0; i < 8; ++i) {
+    handles.push_back(
+        windowed.submit(window(i), options[static_cast<std::size_t>(i) % 4]));
+  }
+  for (std::int64_t i = 0; i < 8; ++i) {
+    auto& handle = handles[static_cast<std::size_t>(i)];
+    ASSERT_TRUE(handle.valid());
+    const Prediction batched = handle.get();
+    EXPECT_FALSE(handle.valid());  // one-shot: get() consumes the handle
+    EXPECT_GE(handle.latency_ms(), 0.0);
+    EXPECT_GE(handle.batch_index(), 1U);
+    const Prediction alone = single.predict(window(i));
+    EXPECT_EQ(batched.label, alone.label);
+    EXPECT_EQ(batched.logits, alone.logits);
+  }
+  EXPECT_GE(windowed.stats().largest_batch, 2U);  // the window coalesced some
+  EXPECT_EQ(windowed.stats().bulk_requests, 4U);
+}
+
+TEST_F(ServeTest, BatchWindowCoalescesSequentialSubmissions) {
+  // With a batch window much longer than the submission skew, four handles
+  // submitted one after another from a single thread must land in ONE
+  // forward pass — the behaviour greedy dispatch cannot produce.
+  Engine engine(artifact(),
+                {.max_batch_size = 8, .batch_window_us = 250000});
+  std::vector<ResponseHandle> handles;
+  for (std::int64_t i = 0; i < 4; ++i) handles.push_back(engine.submit(window(i)));
+  for (auto& handle : handles) {
+    EXPECT_TRUE(handle.wait_for(std::chrono::microseconds(2000000)));
+    ASSERT_TRUE(handle.ready());
+    (void)handle.get();
+  }
+  const EngineStats stats = engine.stats();
+  EXPECT_EQ(stats.batches, 1U);
+  EXPECT_EQ(stats.largest_batch, 4U);
+  EXPECT_EQ(handles[0].batch_index(), handles[3].batch_index());
+}
+
+TEST_F(ServeTest, DeadlineOverridesBatchWindow) {
+  // A 2-second batch window would stall a lone request; its 5 ms deadline
+  // must force a much earlier launch.
+  Engine engine(artifact(),
+                {.max_batch_size = 8, .batch_window_us = 2000000});
+  const auto start = std::chrono::steady_clock::now();
+  const Prediction p = engine.predict(
+      window(0), {.deadline = std::chrono::microseconds(5000)});
+  const double elapsed_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  EXPECT_FALSE(p.logits.empty());
+  EXPECT_LT(elapsed_s, 1.0);  // far below the 2 s window, generous for CI
+}
+
+TEST_F(ServeTest, BoundedQueueRejectsCleanlyWhenFull) {
+  // A long batch window keeps submissions queued, so the depth bound is hit
+  // deterministically. Rejected submissions must throw QueueFullError and
+  // enqueue nothing; accepted ones must still complete correctly on drain.
+  Engine single(artifact(), {.max_batch_size = 1});
+  Engine engine(artifact(), {.max_batch_size = 16,
+                             .batch_window_us = 500000,
+                             .max_queue_depth = 3});
+  std::vector<ResponseHandle> accepted;
+  for (std::int64_t i = 0; i < 3; ++i) accepted.push_back(engine.submit(window(i)));
+  EXPECT_EQ(engine.queue_depth(), 3U);
+  EXPECT_THROW((void)engine.submit(window(3)), QueueFullError);
+  // predict_batch is all-or-nothing: no partial enqueue past the bound.
+  EXPECT_THROW((void)engine.predict_batch({window(3), window(4)}),
+               QueueFullError);
+  EXPECT_EQ(engine.queue_depth(), 3U);
+  EXPECT_EQ(engine.stats().rejected, 3U);
+
+  engine.shutdown();  // drains the three accepted requests immediately
+  for (std::int64_t i = 0; i < 3; ++i) {
+    const Prediction p = accepted[static_cast<std::size_t>(i)].get();
+    const Prediction expected = single.predict(window(i));
+    EXPECT_EQ(p.label, expected.label);
+    EXPECT_EQ(p.logits, expected.logits);
+  }
+  EXPECT_EQ(engine.queue_depth(), 0U);
+}
+
+TEST_F(ServeTest, BulkBackfillIsPreemptedButNotStarved) {
+  // max_batch_size 1 makes every request its own forward pass, so
+  // batch_index exposes dispatch order. While the dispatcher chews an
+  // occupier request, queue 1 bulk request and THEN 8 interactive ones:
+  // the later-submitted interactive requests must preempt (run before) the
+  // bulk one, but the anti-starvation guard must still serve the bulk
+  // request after at most 3 bulk-free batches — NOT last, as a pure
+  // priority queue would.
+  constexpr std::uint64_t kOccupiers = 2;  // ~2 forward passes of slack for
+                                           // the submissions below to stage
+  Engine engine(artifact(), {.max_batch_size = 1});
+  std::vector<ResponseHandle> occupiers;
+  for (std::uint64_t i = 0; i < kOccupiers; ++i) {
+    occupiers.push_back(engine.submit(window(0)));
+  }
+  ResponseHandle bulk =
+      engine.submit(window(2), {.priority = Priority::kBulk});
+  std::vector<ResponseHandle> interactive;
+  for (int i = 0; i < 8; ++i) interactive.push_back(engine.submit(window(1)));
+
+  for (auto& handle : occupiers) (void)handle.get();
+  (void)bulk.get();
+  std::uint64_t last_interactive = 0;
+  for (auto& handle : interactive) {
+    (void)handle.get();
+    last_interactive = std::max(last_interactive, handle.batch_index());
+  }
+  // Preemption: the first interactive request, although submitted after the
+  // bulk one, was dispatched before it. Guard against the (deschedule-only)
+  // race where the dispatcher drained the occupiers before the interactive
+  // submissions were staged — bulk then runs right after the occupiers with
+  // nothing to preempt it, which is not a priority violation.
+  const bool staged_in_time = bulk.batch_index() > kOccupiers + 1;
+  if (staged_in_time) {
+    EXPECT_LT(interactive.front().batch_index(), bulk.batch_index());
+  }
+  // Anti-starvation: bulk ran before the interactive backlog drained...
+  EXPECT_LT(bulk.batch_index(), last_interactive);
+  // ...specifically within the occupier batches + at most 3 bulk-free skips.
+  EXPECT_LE(bulk.batch_index(), kOccupiers + 4);
+  EXPECT_EQ(engine.stats().bulk_requests, 1U);
+}
+
+TEST_F(ServeTest, ExpiredDeadlineOverridesPriorityOrder) {
+  // Once a kBulk request's deadline has expired, the next batch taken must
+  // contain it AHEAD of queued interactive traffic — the deadline contract
+  // beats the priority queue (without it, interactive arrivals could hold
+  // an expired bulk request until the starvation rescue, 4 batches later).
+  // Occupier batches keep the dispatcher busy while everything stages; the
+  // bulk deadline (1 µs) is long expired by the time the next batch forms.
+  constexpr std::uint64_t kOccupiers = 2;
+  Engine engine(artifact(), {.max_batch_size = 1});
+  std::vector<ResponseHandle> occupiers;
+  for (std::uint64_t i = 0; i < kOccupiers; ++i) {
+    occupiers.push_back(engine.submit(window(0)));
+  }
+  ResponseHandle bulk = engine.submit(
+      window(2), {.priority = Priority::kBulk,
+                  .deadline = std::chrono::microseconds(1)});
+  std::vector<ResponseHandle> interactive;
+  for (int i = 0; i < 4; ++i) interactive.push_back(engine.submit(window(1)));
+
+  (void)bulk.get();
+  // First non-occupier batch, not rescued 3 batches later.
+  EXPECT_LE(bulk.batch_index(), kOccupiers + 1);
+  for (auto& handle : interactive) {
+    (void)handle.get();
+    EXPECT_GT(handle.batch_index(), bulk.batch_index());
+  }
+}
+
+TEST_F(ServeTest, RouterServesConcurrentClientsCorrectly) {
+  constexpr std::size_t kThreads = 6;
+  constexpr std::size_t kPerThread = 12;
+  constexpr std::int64_t kDistinct = 6;
+
+  Router router(artifact(), {.shards = 2, .engine = {.max_batch_size = 4}});
+  EXPECT_EQ(router.shards(), 2U);
+
+  // Reference answers from a standalone engine built from the same bundle.
+  Engine reference(artifact(), {.max_batch_size = 1});
+  std::vector<Prediction> expected;
+  for (std::int64_t i = 0; i < kDistinct; ++i) {
+    expected.push_back(reference.predict(window(i)));
+  }
+
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (std::size_t r = 0; r < kPerThread; ++r) {
+        const auto i = static_cast<std::int64_t>((t + r) % kDistinct);
+        const Prediction p = router.predict(window(i));
+        if (p.logits != expected[static_cast<std::size_t>(i)].logits ||
+            p.label != expected[static_cast<std::size_t>(i)].label) {
+          mismatches.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  EXPECT_EQ(mismatches.load(), 0);
+  const EngineStats total = router.stats();
+  EXPECT_EQ(total.requests, kThreads * kPerThread);
+  // Least-depth + rotating tie-break must spread work across both shards.
+  const auto per_shard = router.shard_stats();
+  ASSERT_EQ(per_shard.size(), 2U);
+  EXPECT_GT(per_shard[0].requests, 0U);
+  EXPECT_GT(per_shard[1].requests, 0U);
+  EXPECT_EQ(per_shard[0].requests + per_shard[1].requests, total.requests);
+
+  router.shutdown();
+  EXPECT_THROW((void)router.predict(window(0)), std::runtime_error);
+}
+
+TEST_F(ServeTest, ConfigValidationRejectsBadKnobs) {
+  EXPECT_THROW(Engine(artifact(), {.max_batch_size = 0}),
+               std::invalid_argument);
+  EXPECT_THROW(Engine(artifact(), {.batch_window_us = -1}),
+               std::invalid_argument);
+  EXPECT_THROW(Engine(artifact(), {.max_queue_depth = 0}),
+               std::invalid_argument);
+  RouterConfig zero_shards;
+  zero_shards.shards = 0;
+  EXPECT_THROW(Router(artifact(), zero_shards), std::invalid_argument);
+  Engine engine(artifact());
+  EXPECT_THROW(
+      (void)engine.submit(window(0),
+                          {.deadline = std::chrono::microseconds(-5)}),
+      std::invalid_argument);
+  // A predict_batch group larger than the queue bound can never be admitted:
+  // usage error (invalid_argument), not transient backpressure.
+  Engine shallow(artifact(), {.max_batch_size = 4, .batch_window_us = 0,
+                              .max_queue_depth = 2});
+  EXPECT_THROW(
+      (void)shallow.predict_batch({window(0), window(1), window(2)}),
+      std::invalid_argument);
+}
+
+TEST_F(ServeTest, OpenLoopLoadGeneratorReportsLatencyAndRejections) {
+  Engine engine(artifact(),
+                {.max_batch_size = 8, .batch_window_us = 2000});
+  LoadOptions load;
+  load.clients = 2;
+  load.per_client = 10;
+  load.seed = 11;
+  load.offered_rps = 400.0;  // well under tiny-model capacity
+  const LoadReport report = run_load(engine, load);
+  EXPECT_EQ(report.latencies_ms.size() + report.rejected, 20U);
+  EXPECT_EQ(report.errors, 0U);
+  EXPECT_TRUE(std::is_sorted(report.latencies_ms.begin(),
+                             report.latencies_ms.end()));
+  EXPECT_EQ(report.offered_rps, 400.0);
+  EXPECT_GT(report.requests_per_second(), 0.0);
+  EXPECT_NE(report.latency_summary().find("p99"), std::string::npos);
 }
 
 TEST_F(ServeTest, LoadGeneratorCountsEveryRequest) {

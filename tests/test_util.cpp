@@ -160,6 +160,28 @@ TEST(Serialize, ManifestReadsV1FilesAsEmptyMetadata) {
   std::filesystem::remove(path);
 }
 
+TEST(Serialize, GoldenV1AndV2FixturesStillLoad) {
+  // Checked-in byte-level fixtures (tests/data/): guards the "v1 stays
+  // readable" promise against accidental format drift as the serve layer
+  // evolves. If this fails, a serializer change broke an on-disk contract —
+  // bump the version instead of mutating an existing one.
+  const std::string dir = SAGA_TEST_DATA_DIR;
+  const NamedBlobs expected_blobs{{"bias", {0.5F}},
+                                  {"weight", {1.0F, -2.25F, 3.5F}}};
+
+  const Manifest v1 = load_manifest(dir + "/golden_v1.manifest");
+  EXPECT_TRUE(v1.metadata.empty());
+  EXPECT_EQ(v1.blobs, expected_blobs);
+  EXPECT_EQ(load_blobs(dir + "/golden_v1.manifest"), expected_blobs);
+
+  const Manifest v2 = load_manifest(dir + "/golden_v2.manifest");
+  EXPECT_EQ(v2.require("format"), "saga.golden");
+  EXPECT_EQ(v2.require("note"), "checked-in v2 fixture");
+  EXPECT_EQ(v2.require_int("answer"), 42);
+  EXPECT_EQ(v2.blobs, expected_blobs);
+  EXPECT_EQ(load_blobs(dir + "/golden_v2.manifest"), expected_blobs);
+}
+
 TEST(Serialize, RejectsUnsupportedVersion) {
   const std::string path =
       std::filesystem::temp_directory_path() / "saga_future.bin";
