@@ -6,9 +6,12 @@
 #include "models/classifier.hpp"
 #include "nn/gru.hpp"
 #include "tensor/attention_fused.hpp"
+#include "tensor/eltwise/eltwise.hpp"
 #include "tensor/grad_mode.hpp"
 #include "tensor/loss.hpp"
 #include "tensor/matmul.hpp"
+#include "tensor/ops.hpp"
+#include "tensor/reduce.hpp"
 #include "util/rng.hpp"
 
 namespace {
@@ -82,6 +85,90 @@ void BM_FusedAttentionLayerForward(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_FusedAttentionLayerForward)->Unit(benchmark::kMillisecond);
+
+// ---------------------------------------------------------------------------
+// Fused-vs-composed eltwise rows: per-primitive tracking of the eltwise
+// engine's win over the composed op chains it replaced, at the backbone's
+// hottest shapes (FFN activations [B*T, ff_dim] = [3840, 144], residual/LN
+// joins at hidden [3840, 72]). The composed variants are the pre-eltwise
+// code paths: broadcast add + separate gelu / layer_norm passes.
+// ---------------------------------------------------------------------------
+
+void BM_BiasAddFused(benchmark::State& state) {
+  util::Rng rng(7);
+  Tensor x = Tensor::randn({3840, 144}, rng);
+  Tensor bias = Tensor::randn({144}, rng);
+  NoGradGuard no_grad;
+  for (auto _ : state) {
+    Tensor y = eltwise::bias_add(x, bias);
+    benchmark::DoNotOptimize(y.data().data());
+  }
+}
+BENCHMARK(BM_BiasAddFused);
+
+void BM_BiasAddComposed(benchmark::State& state) {
+  util::Rng rng(7);
+  Tensor x = Tensor::randn({3840, 144}, rng);
+  Tensor bias = Tensor::randn({144}, rng);
+  NoGradGuard no_grad;
+  for (auto _ : state) {
+    Tensor y = add(x, bias);  // generic broadcast odometer
+    benchmark::DoNotOptimize(y.data().data());
+  }
+}
+BENCHMARK(BM_BiasAddComposed);
+
+void BM_BiasGeluFused(benchmark::State& state) {
+  util::Rng rng(8);
+  Tensor x = Tensor::randn({3840, 144}, rng);
+  Tensor bias = Tensor::randn({144}, rng);
+  NoGradGuard no_grad;
+  for (auto _ : state) {
+    Tensor y = eltwise::bias_gelu(x, bias);
+    benchmark::DoNotOptimize(y.data().data());
+  }
+}
+BENCHMARK(BM_BiasGeluFused);
+
+void BM_BiasGeluComposed(benchmark::State& state) {
+  util::Rng rng(8);
+  Tensor x = Tensor::randn({3840, 144}, rng);
+  Tensor bias = Tensor::randn({144}, rng);
+  NoGradGuard no_grad;
+  for (auto _ : state) {
+    Tensor y = gelu(add(x, bias));  // two passes + intermediate tensor
+    benchmark::DoNotOptimize(y.data().data());
+  }
+}
+BENCHMARK(BM_BiasGeluComposed);
+
+void BM_ResidualLayerNormFused(benchmark::State& state) {
+  util::Rng rng(9);
+  Tensor x = Tensor::randn({3840, 72}, rng);
+  Tensor r = Tensor::randn({3840, 72}, rng);
+  Tensor gamma = Tensor::ones({72});
+  Tensor beta = Tensor::zeros({72});
+  NoGradGuard no_grad;
+  for (auto _ : state) {
+    Tensor y = eltwise::residual_layer_norm(x, r, gamma, beta);
+    benchmark::DoNotOptimize(y.data().data());
+  }
+}
+BENCHMARK(BM_ResidualLayerNormFused);
+
+void BM_ResidualLayerNormComposed(benchmark::State& state) {
+  util::Rng rng(9);
+  Tensor x = Tensor::randn({3840, 72}, rng);
+  Tensor r = Tensor::randn({3840, 72}, rng);
+  Tensor gamma = Tensor::ones({72});
+  Tensor beta = Tensor::zeros({72});
+  NoGradGuard no_grad;
+  for (auto _ : state) {
+    Tensor y = layer_norm_lastdim(add(x, r), gamma, beta);
+    benchmark::DoNotOptimize(y.data().data());
+  }
+}
+BENCHMARK(BM_ResidualLayerNormComposed);
 
 void BM_BackboneForward(benchmark::State& state) {
   models::BackboneConfig config;  // paper size

@@ -9,9 +9,18 @@
 #                                 running the serve concurrency suite (the
 #                                 dispatcher/router threading is what TSan is
 #                                 for; the full suite under TSan is too slow)
+#   ./scripts/check.sh --asan     AddressSanitizer build into <repo>/build-asan,
+#                                 running the tensor-stack + serve suites —
+#                                 the eltwise/gemm kernel edge paths, the
+#                                 NoGrad tape-skip lifetimes, and the backward
+#                                 closures over saved buffers are where
+#                                 use-after-free/overflow bugs would hide
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
+
+ASAN_TARGETS=(test_eltwise test_tensor_ops test_reduce_loss test_shape_ops
+  test_matmul test_attention test_nn test_serve)
 
 BUILD_DIR=build
 if [[ "${1:-}" == "--strict" ]]; then
@@ -24,6 +33,15 @@ elif [[ "${1:-}" == "--tsan" ]]; then
   cmake --build "$BUILD_DIR" -j "$(nproc)" --target test_serve
   cd "$BUILD_DIR"
   ctest --output-on-failure -R '^test_serve$'
+  exit 0
+elif [[ "${1:-}" == "--asan" ]]; then
+  BUILD_DIR=build-asan
+  cmake -B "$BUILD_DIR" -S . -DSAGA_ASAN=ON -DSAGA_BUILD_BENCH=OFF \
+    -DSAGA_BUILD_EXAMPLES=OFF
+  cmake --build "$BUILD_DIR" -j "$(nproc)" --target "${ASAN_TARGETS[@]}"
+  cd "$BUILD_DIR"
+  ctest --output-on-failure \
+    -R "^($(IFS='|'; echo "${ASAN_TARGETS[*]}"))\$"
   exit 0
 else
   cmake -B "$BUILD_DIR" -S .

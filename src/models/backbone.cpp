@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "tensor/eltwise/eltwise.hpp"
 #include "tensor/ops.hpp"
 #include "tensor/shape_ops.hpp"
 
@@ -48,7 +49,7 @@ Tensor LimuBertBackbone::encode(const Tensor& x) {
   }
   Tensor h = input_proj_->forward(x);                       // [B, T, H]
   const Tensor pos = slice(positional_, 0, 0, seq_len);     // [T, H]
-  h = add(h, pos);                                          // broadcast over B
+  h = eltwise::scale_add(h, pos);                           // tiled over B
   h = input_dropout_->forward(input_norm_->forward(h));
   for (auto& block : blocks_) h = block->forward(h);
   return h;
@@ -65,7 +66,7 @@ ReconstructionHead::ReconstructionHead(std::int64_t hidden_dim,
 }
 
 Tensor ReconstructionHead::forward(const Tensor& h) const {
-  return fc2_->forward(gelu(fc1_->forward(h)));
+  return fc2_->forward(fc1_->forward(h, nn::Activation::kGelu));
 }
 
 }  // namespace saga::models

@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "nn/init.hpp"
+#include "tensor/eltwise/eltwise.hpp"
 #include "tensor/matmul.hpp"
 #include "tensor/ops.hpp"
 #include "tensor/shape_ops.hpp"
@@ -27,12 +28,12 @@ Tensor GRUCell::forward(const Tensor& x, const Tensor& h) const {
 }
 
 Tensor GRUCell::precompute_inputs(const Tensor& x_flat) const {
-  return add(matmul(x_flat, w_ih_), b_ih_);
+  return eltwise::bias_add(matmul(x_flat, w_ih_), b_ih_);
 }
 
 Tensor GRUCell::step(const Tensor& gi, const Tensor& h) const {
   // gh = h W_hh + b_hh. Gate order: [r | z | n].
-  const Tensor gh = add(matmul(h, w_hh_), b_hh_);
+  const Tensor gh = eltwise::bias_add(matmul(h, w_hh_), b_hh_);
 
   const Tensor gi_r = slice(gi, 1, 0, hidden_);
   const Tensor gi_z = slice(gi, 1, hidden_, hidden_);

@@ -1,7 +1,7 @@
 #include "nn/layers.hpp"
 
+#include "tensor/eltwise/eltwise.hpp"
 #include "tensor/ops.hpp"
-#include "tensor/reduce.hpp"
 
 namespace saga::nn {
 
@@ -11,7 +11,12 @@ LayerNorm::LayerNorm(std::int64_t dim, float eps) : eps_(eps) {
 }
 
 Tensor LayerNorm::forward(const Tensor& x) const {
-  return layer_norm_lastdim(x, gamma_, beta_, eps_);
+  return eltwise::residual_layer_norm(x, Tensor(), gamma_, beta_, eps_);
+}
+
+Tensor LayerNorm::forward_residual(const Tensor& x,
+                                   const Tensor& residual) const {
+  return eltwise::residual_layer_norm(x, residual, gamma_, beta_, eps_);
 }
 
 Dropout::Dropout(double p, std::uint64_t seed) : p_(p), rng_(seed) {}

@@ -7,10 +7,14 @@
 namespace saga::nn {
 
 /// Layer normalization over the last dimension with learned scale/shift.
+/// Both entry points run the fused eltwise kernel; forward_residual folds
+/// the transformer's residual join (x + residual) into the same sweep.
 class LayerNorm : public Module {
  public:
   explicit LayerNorm(std::int64_t dim, float eps = 1e-5F);
   Tensor forward(const Tensor& x) const;
+  /// layer_norm(x + residual) in one pass.
+  Tensor forward_residual(const Tensor& x, const Tensor& residual) const;
 
  private:
   Tensor gamma_;

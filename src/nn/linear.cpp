@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "nn/init.hpp"
+#include "tensor/eltwise/eltwise.hpp"
 #include "tensor/matmul.hpp"
 #include "tensor/ops.hpp"
 #include "tensor/shape_ops.hpp"
@@ -19,7 +20,7 @@ Linear::Linear(std::int64_t in_features, std::int64_t out_features,
   }
 }
 
-Tensor Linear::forward(const Tensor& x) const {
+Tensor Linear::forward(const Tensor& x, Activation activation) const {
   Tensor flat = x;
   const bool is_3d = x.dim() == 3;
   if (is_3d) {
@@ -32,7 +33,11 @@ Tensor Linear::forward(const Tensor& x) const {
                                 " features, got " + std::to_string(flat.size(1)));
   }
   Tensor y = matmul(flat, weight_);
-  if (bias_.defined()) y = add(y, bias_);
+  if (activation == Activation::kGelu) {
+    y = eltwise::bias_gelu(y, bias_);  // bias_ may be undefined: plain GELU
+  } else if (bias_.defined()) {
+    y = eltwise::bias_add(y, bias_);
+  }
   if (is_3d) y = reshape(y, {x.size(0), x.size(1), out_});
   return y;
 }

@@ -6,14 +6,20 @@
 
 namespace saga::nn {
 
-/// y = x W + b. Accepts [N, in] or [B, T, in] inputs (the 3-D case is
-/// flattened to 2-D for the matmul and restored afterwards).
+/// Optional activation fused into Linear::forward's bias epilogue: kGelu
+/// runs the eltwise bias_gelu kernel (one sweep) instead of a separate
+/// gelu pass over a materialized intermediate.
+enum class Activation { kNone, kGelu };
+
+/// y = act(x W + b). Accepts [N, in] or [B, T, in] inputs (the 3-D case is
+/// flattened to 2-D for the matmul and restored afterwards). The bias add
+/// (and optional GELU) run as fused eltwise kernels, not broadcast ops.
 class Linear : public Module {
  public:
   Linear(std::int64_t in_features, std::int64_t out_features, util::Rng& rng,
          bool with_bias = true);
 
-  Tensor forward(const Tensor& x) const;
+  Tensor forward(const Tensor& x, Activation activation = Activation::kNone) const;
 
   std::int64_t in_features() const noexcept { return in_; }
   std::int64_t out_features() const noexcept { return out_; }

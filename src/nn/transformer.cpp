@@ -23,10 +23,12 @@ TransformerBlock::TransformerBlock(const TransformerConfig& config,
 }
 
 Tensor TransformerBlock::forward(const Tensor& x) {
+  // Residual joins fuse into the layer norms; the feed-forward GELU fuses
+  // into ff1's bias epilogue — no composed add/gelu passes on this path.
   Tensor attn_out = dropout1_->forward(attn_->forward(x));
-  Tensor h = norm1_->forward(add(x, attn_out));
-  Tensor ff = ff2_->forward(gelu(ff1_->forward(h)));
-  return norm2_->forward(add(h, dropout2_->forward(ff)));
+  Tensor h = norm1_->forward_residual(x, attn_out);
+  Tensor ff = ff2_->forward(ff1_->forward(h, Activation::kGelu));
+  return norm2_->forward_residual(h, dropout2_->forward(ff));
 }
 
 }  // namespace saga::nn

@@ -129,6 +129,36 @@ std::vector<ResponseHandle> Engine::enqueue_all(std::vector<Request>& staged,
           std::to_string(config_.max_queue_depth) +
           " pending requests); shed load or retry");
     }
+    // Deadline admission control: floor(queue_depth / max_batch) full
+    // batches must run before a new request can launch; if the EWMA batch
+    // latency says that already blows a request's deadline, reject now
+    // (all-or-nothing, like the queue bound) instead of serving a result
+    // the caller has contracted to consider late. With no batch history
+    // (ewma == 0) or under one queued batch this never fires.
+    if (config_.deadline_admission && stats_.ewma_batch_ms > 0.0) {
+      const std::size_t batches_ahead =
+          (queued + in_flight_) /
+          static_cast<std::size_t>(config_.max_batch_size);
+      if (batches_ahead > 0) {
+        const auto estimated_wait =
+            std::chrono::duration_cast<Clock::duration>(
+                std::chrono::duration<double, std::milli>(
+                    stats_.ewma_batch_ms *
+                    static_cast<double>(batches_ahead)));
+        for (const Request& request : staged) {
+          if (request.deadline_at != Clock::time_point::max() &&
+              submitted + estimated_wait > request.deadline_at) {
+            stats_.rejected_hopeless += staged.size();
+            throw HopelessDeadlineError(
+                "Engine::submit: deadline hopeless at admission (~" +
+                std::to_string(batches_ahead) + " batches x " +
+                std::to_string(stats_.ewma_batch_ms) +
+                " ms EWMA batch latency ahead of it); shed load or relax "
+                "the deadline");
+          }
+        }
+      }
+    }
     for (Request& request : staged) {
       (request.priority == Priority::kBulk ? bulk_ : interactive_)
           .push_back(std::move(request));
@@ -300,6 +330,7 @@ void Engine::dispatch_loop() {
 
 void Engine::run_batch(std::vector<Request>& batch,
                        std::uint64_t batch_index) {
+  const Clock::time_point started = Clock::now();
   try {
     const auto b = static_cast<std::int64_t>(batch.size());
     const std::int64_t t = artifact_.window_length();
@@ -315,6 +346,18 @@ void Engine::run_batch(std::vector<Request>& batch,
     const auto view = logits.data();
     const std::int64_t classes = artifact_.num_classes();
     const Clock::time_point completed = Clock::now();
+    {
+      // Update the admission-control latency estimate before fulfilling any
+      // promise, so a caller whose get() has returned observes a primed
+      // EWMA (keeps tests deterministic).
+      const std::lock_guard<std::mutex> lock(mutex_);
+      const double batch_ms =
+          std::chrono::duration<double, std::milli>(completed - started)
+              .count();
+      stats_.ewma_batch_ms = stats_.ewma_batch_ms == 0.0
+                                 ? batch_ms
+                                 : 0.8 * stats_.ewma_batch_ms + 0.2 * batch_ms;
+    }
     for (std::int64_t i = 0; i < b; ++i) {
       detail::Fulfilled fulfilled;
       fulfilled.prediction.label =

@@ -79,6 +79,18 @@ struct QueueFullError : std::runtime_error {
   using std::runtime_error::runtime_error;
 };
 
+/// Thrown by submit()/predict() when admission control determines the
+/// request's deadline is already hopeless at submit time: the estimated
+/// queueing delay (batches ahead of it × the recent EWMA batch latency)
+/// exceeds the deadline, so running it would only waste a batch slot on a
+/// result the caller has contracted to consider late. Derives from
+/// QueueFullError so shed-load handling (Router's walk-the-shards retry,
+/// loadgen rejected-counting) applies unchanged — it is backpressure, just
+/// detected per-deadline instead of per-queue-bound.
+struct HopelessDeadlineError : QueueFullError {
+  using QueueFullError::QueueFullError;
+};
+
 struct EngineConfig {
   /// Most pending requests coalesced into one forward pass.
   std::int64_t max_batch_size = 16;
@@ -89,6 +101,12 @@ struct EngineConfig {
   /// Bound on undispatched requests; submissions beyond it throw
   /// QueueFullError. Must be positive.
   std::int64_t max_queue_depth = 1024;
+  /// Reject requests whose deadline is already hopeless at submit time
+  /// (estimated queueing delay > deadline) with HopelessDeadlineError.
+  /// Conservative by construction: the estimate is floor(queue_depth /
+  /// max_batch_size) × the EWMA batch latency, so an engine with no batch
+  /// history or with less than one full batch queued never rejects.
+  bool deadline_admission = true;
   /// Apply the artifact's per-channel normalization stats (when present) to
   /// incoming windows. Disable when callers pre-normalize.
   bool apply_normalization = true;
@@ -156,6 +174,13 @@ struct EngineStats {
   std::uint64_t largest_batch = 0;  // max windows in one forward pass
   std::uint64_t bulk_requests = 0;  // subset of `requests` with Priority::kBulk
   std::uint64_t rejected = 0;       // submissions refused by the bounded queue
+  /// Submissions refused by deadline admission control (disjoint from
+  /// `rejected`, which counts only queue-bound refusals).
+  std::uint64_t rejected_hopeless = 0;
+  /// Exponentially weighted moving average of forward-pass wall time, in
+  /// milliseconds (0 until the first batch completes) — the admission
+  /// control's service-time estimate.
+  double ewma_batch_ms = 0.0;
   double mean_batch() const noexcept {
     return batches == 0 ? 0.0
                         : static_cast<double>(requests) /
@@ -175,8 +200,10 @@ class Engine {
   /// Submits one window (window_length x channels floats, row-major [T x C])
   /// for asynchronous prediction. Thread-safe; returns immediately with a
   /// handle. Throws std::invalid_argument on a wrong-sized window,
-  /// QueueFullError when the bounded queue is full, and std::runtime_error
-  /// after shutdown.
+  /// QueueFullError when the bounded queue is full, HopelessDeadlineError
+  /// when admission control deems the deadline unmeetable (see
+  /// EngineConfig::deadline_admission), and std::runtime_error after
+  /// shutdown.
   ResponseHandle submit(std::span<const float> window,
                         RequestOptions options = {});
 

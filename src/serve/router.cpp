@@ -83,6 +83,10 @@ EngineStats Router::stats() const {
     total.largest_batch = std::max(total.largest_batch, s.largest_batch);
     total.bulk_requests += s.bulk_requests;
     total.rejected += s.rejected;
+    total.rejected_hopeless += s.rejected_hopeless;
+    // Queueing-delay estimates don't sum across shards; report the slowest
+    // shard's estimate as the aggregate worst case.
+    total.ewma_batch_ms = std::max(total.ewma_batch_ms, s.ewma_batch_ms);
   }
   return total;
 }

@@ -48,16 +48,32 @@ Tensor fused_multi_head_attention(const Tensor& q, const Tensor& k,
   const float* vd = v.data().data();
 
   std::vector<float> out(static_cast<std::size_t>(batch * seq * dim), 0.0F);
-  // Softmax probabilities saved for backward: [B, H, T, T].
-  auto probs = std::make_shared<std::vector<float>>(
-      static_cast<std::size_t>(batch * num_heads * seq * seq));
+  // Softmax probabilities are backward-only state. Under the tape they are
+  // saved for all pairs ([B, H, T, T], shared with the backward closure);
+  // under NoGrad each worker reuses a per-thread [T, T] scratch instead —
+  // same arithmetic, no B*H-sized allocation.
+  const bool tape = detail::tape_active({&q, &k, &v});
+  std::shared_ptr<std::vector<float>> probs;
+  if (tape) {
+    probs = std::make_shared<std::vector<float>>(
+        static_cast<std::size_t>(batch * num_heads * seq * seq));
+  }
 
   const std::int64_t pairs = batch * num_heads;
   util::parallel_for(0, static_cast<std::size_t>(pairs), [&](std::size_t pair) {
     const std::int64_t b = static_cast<std::int64_t>(pair) / num_heads;
     const std::int64_t h = static_cast<std::int64_t>(pair) % num_heads;
     const std::int64_t c0 = h * head_dim;  // head channel offset
-    float* prow_base = probs->data() + pair * seq * seq;
+    thread_local std::vector<float> scores_scratch;
+    float* prow_base;
+    if (tape) {
+      prow_base = probs->data() + pair * seq * seq;
+    } else {
+      if (static_cast<std::int64_t>(scores_scratch.size()) < seq * seq) {
+        scores_scratch.resize(static_cast<std::size_t>(seq * seq));
+      }
+      prow_base = scores_scratch.data();
+    }
 
     // Scores: P = Q_h x K_h^T (both [T, head_dim] strided views).
     head_gemm(qd + offset(b, 0, c0, seq, dim), dim,
@@ -86,13 +102,11 @@ Tensor fused_multi_head_attention(const Tensor& q, const Tensor& k,
               /*trans_a=*/false, /*trans_b=*/false, /*accumulate=*/false);
   });
 
-  auto q_impl = q.impl();
-  auto k_impl = k.impl();
-  auto v_impl = v.impl();
-  return detail::make_op_output(
-      q.shape(), std::move(out), {q, k, v}, "fused_attention",
-      [q_impl, k_impl, v_impl, probs, batch, seq, dim, num_heads, head_dim,
-       inv_sqrt_d](const TensorImpl& o) {
+  return detail::make_result(
+      q.shape(), std::move(out), {&q, &k, &v}, "fused_attention", [&] {
+    return [q_impl = q.impl(), k_impl = k.impl(), v_impl = v.impl(), probs,
+            batch, seq, dim, num_heads, head_dim,
+            inv_sqrt_d](const TensorImpl& o) {
         const bool need_q = detail::wants_grad(*q_impl);
         const bool need_k = detail::wants_grad(*k_impl);
         const bool need_v = detail::wants_grad(*v_impl);
@@ -155,7 +169,8 @@ Tensor fused_multi_head_attention(const Tensor& q, const Tensor& k,
                       /*trans_a=*/true, /*trans_b=*/false, /*accumulate=*/true);
           }
         });
-      });
+    };
+  });
 }
 
 }  // namespace saga

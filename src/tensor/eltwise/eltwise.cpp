@@ -1,0 +1,260 @@
+// Eltwise driver: runtime kernel dispatch and autograd wiring for the fused
+// elementwise ops. The heavy loops live in kernel_scalar.cpp /
+// kernel_avx2.cpp behind the detail::Kernels table; this file validates
+// shapes, resolves the kernel once per op call, and builds backward closures
+// lazily through detail::make_result (so NoGrad forwards allocate no tape
+// state at all). Backward closures capture the same kernel table the forward
+// used — a forward/backward pair never mixes kernels.
+//
+// All kernels run serially: the tensors here are small enough that the
+// per-call thread-pool fan-out would cost more than the sweep itself, and a
+// serial sweep is trivially deterministic.
+#include "tensor/eltwise/eltwise.hpp"
+
+#include <stdexcept>
+
+#include "tensor/eltwise/kernels.hpp"
+#include "util/env.hpp"
+
+namespace saga::eltwise {
+
+namespace {
+
+bool cpu_has_avx2_fma() {
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+  return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+#else
+  return false;
+#endif
+}
+
+// SAGA_FORCE_SCALAR_ELTWISE=1 pins dispatch to the portable kernels; read
+// once per process (mirrors SAGA_FORCE_SCALAR_GEMM).
+bool force_scalar() {
+  static const bool forced = util::env_int("SAGA_FORCE_SCALAR_ELTWISE", 0) != 0;
+  return forced;
+}
+
+Kernel resolve_auto() {
+  static const Kernel picked =
+      (cpu_supports_avx2() && !force_scalar()) ? Kernel::kAvx2 : Kernel::kScalar;
+  return picked;
+}
+
+// Per-thread test/bench pin installed by ForceKernelGuard.
+thread_local Kernel t_forced = Kernel::kAuto;
+
+const detail::Kernels& table_for(Kernel kernel) {
+  switch (kernel) {
+    case Kernel::kScalar:
+      return detail::scalar_kernels();
+    case Kernel::kAvx2: {
+      const detail::Kernels* table = detail::avx2_kernels();
+      if (table == nullptr || !cpu_has_avx2_fma()) {
+        throw std::runtime_error(
+            "eltwise: AVX2 kernels requested but not available "
+            "(unsupported CPU or build)");
+      }
+      return *table;
+    }
+    case Kernel::kAuto:
+      break;
+  }
+  return table_for(t_forced != Kernel::kAuto ? t_forced : resolve_auto());
+}
+
+const detail::Kernels& active_table() { return table_for(Kernel::kAuto); }
+
+void check_bias(const Tensor& x, const Tensor& bias, const char* op) {
+  if (bias.dim() != 1 || x.dim() < 1 || x.size(-1) != bias.numel()) {
+    throw std::invalid_argument(std::string(op) + ": bias must be [D] with D" +
+                                " == x's last dimension, got x " +
+                                shape_str(x.shape()) + " bias " +
+                                shape_str(bias.shape()));
+  }
+}
+
+}  // namespace
+
+bool cpu_supports_avx2() {
+  return detail::avx2_kernels() != nullptr && cpu_has_avx2_fma();
+}
+
+std::vector<Kernel> available_kernels() {
+  std::vector<Kernel> kernels{Kernel::kScalar};
+  if (cpu_supports_avx2() && !force_scalar()) kernels.push_back(Kernel::kAvx2);
+  return kernels;
+}
+
+std::string kernel_name(Kernel kernel) {
+  if (kernel == Kernel::kAuto) {
+    kernel = t_forced != Kernel::kAuto ? t_forced : resolve_auto();
+  }
+  return kernel == Kernel::kAvx2 ? "avx2-m256" : "scalar";
+}
+
+ForceKernelGuard::ForceKernelGuard(Kernel kernel) : previous_(t_forced) {
+  if (kernel != Kernel::kAuto) table_for(kernel);  // validates availability
+  t_forced = kernel;
+}
+
+ForceKernelGuard::~ForceKernelGuard() { t_forced = previous_; }
+
+Tensor bias_add(const Tensor& x, const Tensor& bias) {
+  check_bias(x, bias, "bias_add");
+  const std::int64_t m = bias.numel();
+  const std::int64_t blocks = x.numel() / m;
+  const detail::Kernels& kt = active_table();
+  std::vector<float> out(static_cast<std::size_t>(x.numel()));
+  kt.tile_add(x.data().data(), bias.data().data(), 1.0F, out.data(), blocks, m);
+  return saga::detail::make_result(
+      x.shape(), std::move(out), {&x, &bias}, "bias_add", [&] {
+        return [x_impl = x.impl(), b_impl = bias.impl(), kt = &kt, blocks,
+                m](const TensorImpl& o) {
+          const float* go = o.grad.data();
+          if (saga::detail::wants_grad(*x_impl)) {
+            float* gx = x_impl->grad_buffer().data();
+            for (std::size_t i = 0; i < o.data.size(); ++i) gx[i] += go[i];
+          }
+          if (saga::detail::wants_grad(*b_impl)) {
+            kt->tile_add_bwd(go, 1.0F, b_impl->grad_buffer().data(), blocks, m);
+          }
+        };
+      });
+}
+
+Tensor scale_add(const Tensor& x, const Tensor& tile, float alpha) {
+  const std::int64_t rank = x.dim();
+  const std::int64_t tile_rank = tile.dim();
+  bool suffix_ok = tile_rank >= 1 && tile_rank <= rank;
+  for (std::int64_t d = 0; suffix_ok && d < tile_rank; ++d) {
+    suffix_ok = tile.size(tile_rank - 1 - d) == x.size(rank - 1 - d);
+  }
+  if (!suffix_ok) {
+    throw std::invalid_argument(
+        "scale_add: tile shape must be a suffix of x's shape, got x " +
+        shape_str(x.shape()) + " tile " + shape_str(tile.shape()));
+  }
+  const std::int64_t m = tile.numel();
+  const std::int64_t blocks = x.numel() / m;
+  const detail::Kernels& kt = active_table();
+  std::vector<float> out(static_cast<std::size_t>(x.numel()));
+  kt.tile_add(x.data().data(), tile.data().data(), alpha, out.data(), blocks,
+              m);
+  return saga::detail::make_result(
+      x.shape(), std::move(out), {&x, &tile}, "scale_add", [&] {
+        return [x_impl = x.impl(), t_impl = tile.impl(), kt = &kt, alpha,
+                blocks, m](const TensorImpl& o) {
+          const float* go = o.grad.data();
+          if (saga::detail::wants_grad(*x_impl)) {
+            float* gx = x_impl->grad_buffer().data();
+            for (std::size_t i = 0; i < o.data.size(); ++i) gx[i] += go[i];
+          }
+          if (saga::detail::wants_grad(*t_impl)) {
+            kt->tile_add_bwd(go, alpha, t_impl->grad_buffer().data(), blocks,
+                             m);
+          }
+        };
+      });
+}
+
+Tensor bias_gelu(const Tensor& x, const Tensor& bias) {
+  const bool with_bias = bias.defined();
+  if (with_bias) check_bias(x, bias, "bias_gelu");
+  const std::int64_t m = with_bias ? bias.numel() : x.numel();
+  const std::int64_t blocks = with_bias ? x.numel() / m : 1;
+  const detail::Kernels& kt = active_table();
+  std::vector<float> out(static_cast<std::size_t>(x.numel()));
+  kt.bias_gelu(x.data().data(), with_bias ? bias.data().data() : nullptr,
+               out.data(), blocks, m);
+
+  const auto backward_factory = [&] {
+    return [x_impl = x.impl(),
+            b_impl = with_bias ? bias.impl() : std::shared_ptr<TensorImpl>(),
+            kt = &kt, blocks, m](const TensorImpl& o) {
+      const bool need_x = saga::detail::wants_grad(*x_impl);
+      const bool need_b =
+          b_impl != nullptr && saga::detail::wants_grad(*b_impl);
+      if (!need_x && !need_b) return;
+      kt->bias_gelu_bwd(x_impl->data.data(),
+                        b_impl == nullptr ? nullptr : b_impl->data.data(),
+                        o.grad.data(),
+                        need_x ? x_impl->grad_buffer().data() : nullptr,
+                        need_b ? b_impl->grad_buffer().data() : nullptr,
+                        blocks, m);
+    };
+  };
+  if (with_bias) {
+    return saga::detail::make_result(x.shape(), std::move(out), {&x, &bias},
+                                     "bias_gelu", backward_factory);
+  }
+  return saga::detail::make_result(x.shape(), std::move(out), {&x}, "gelu",
+                                   backward_factory);
+}
+
+Tensor residual_layer_norm(const Tensor& x, const Tensor& residual,
+                           const Tensor& gamma, const Tensor& beta,
+                           float eps) {
+  const std::int64_t d = x.size(-1);
+  const std::int64_t rows = x.numel() / d;
+  if (gamma.numel() != d || beta.numel() != d) {
+    throw std::invalid_argument(
+        "residual_layer_norm: gamma/beta must be [D], got D = " +
+        std::to_string(d));
+  }
+  const bool with_residual = residual.defined();
+  if (with_residual && residual.shape() != x.shape()) {
+    throw std::invalid_argument(
+        "residual_layer_norm: residual shape " + shape_str(residual.shape()) +
+        " must match x " + shape_str(x.shape()));
+  }
+  const detail::Kernels& kt = active_table();
+  // xhat / inv_std are backward-only state: computed and saved only when the
+  // tape is active (the y arithmetic is identical either way, keeping NoGrad
+  // and tape forwards bit-identical).
+  const bool tape =
+      with_residual
+          ? saga::detail::tape_active({&x, &residual, &gamma, &beta})
+          : saga::detail::tape_active({&x, &gamma, &beta});
+  std::vector<float> out(static_cast<std::size_t>(x.numel()));
+  std::vector<float> xhat(tape ? static_cast<std::size_t>(x.numel()) : 0);
+  std::vector<float> inv_std(tape ? static_cast<std::size_t>(rows) : 0);
+  kt.layer_norm(x.data().data(),
+                with_residual ? residual.data().data() : nullptr,
+                gamma.data().data(), beta.data().data(), eps, out.data(),
+                tape ? xhat.data() : nullptr, tape ? inv_std.data() : nullptr,
+                rows, d);
+
+  const auto backward_factory = [&] {
+    return [x_impl = x.impl(),
+            r_impl = with_residual ? residual.impl()
+                                   : std::shared_ptr<TensorImpl>(),
+            g_impl = gamma.impl(), b_impl = beta.impl(), kt = &kt, rows, d,
+            xhat = std::move(xhat),
+            inv_std = std::move(inv_std)](const TensorImpl& o) {
+      const bool need_x = saga::detail::wants_grad(*x_impl);
+      const bool need_r =
+          r_impl != nullptr && saga::detail::wants_grad(*r_impl);
+      const bool need_g = saga::detail::wants_grad(*g_impl);
+      const bool need_b = saga::detail::wants_grad(*b_impl);
+      if (!need_x && !need_r && !need_g && !need_b) return;
+      kt->layer_norm_bwd(xhat.data(), inv_std.data(), g_impl->data.data(),
+                         o.grad.data(),
+                         need_x ? x_impl->grad_buffer().data() : nullptr,
+                         need_r ? r_impl->grad_buffer().data() : nullptr,
+                         need_g ? g_impl->grad_buffer().data() : nullptr,
+                         need_b ? b_impl->grad_buffer().data() : nullptr,
+                         rows, d);
+    };
+  };
+  if (with_residual) {
+    return saga::detail::make_result(x.shape(), std::move(out),
+                                     {&x, &residual, &gamma, &beta},
+                                     "residual_layer_norm", backward_factory);
+  }
+  return saga::detail::make_result(x.shape(), std::move(out),
+                                   {&x, &gamma, &beta}, "layer_norm",
+                                   backward_factory);
+}
+
+}  // namespace saga::eltwise

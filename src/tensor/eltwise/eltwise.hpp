@@ -1,0 +1,85 @@
+// saga::eltwise — the fused elementwise engine behind the nn/model hot
+// paths: bias adds, bias+GELU, residual+layer-norm, and tiled broadcast
+// (positional) adds, each with forward and backward.
+//
+// Why a unit of its own: after the GEMM rewrite, roughly half of backbone
+// forward time sat in composed elementwise chains — every `add(y, bias)`
+// walked the generic broadcast odometer, every gelu/layer-norm was an extra
+// full pass plus an intermediate tensor, and every op allocated autograd
+// bookkeeping even under NoGrad. The fused ops here do one contiguous sweep
+// per chain, participate in the shared grad-mode-aware `detail::make_result`
+// construction (zero tape nodes under NoGrad), and dispatch at runtime to an
+// AVX2+FMA kernel (vectorized exp/tanh for GELU) with the portable scalar
+// kernel retained — the same pattern as src/tensor/gemm/.
+//
+// Numerics contract: for a fixed kernel, results are bit-identical across
+// runs and independent of grad mode (the tape only adds saved state, never
+// changes forward arithmetic). The scalar kernel performs exactly the
+// composed ops' per-element arithmetic, so forced-scalar fused results are
+// bit-identical to the composed reference; the AVX2 kernel agrees to
+// rounding (like gemm's kernels). SAGA_FORCE_SCALAR_ELTWISE=1 pins dispatch
+// to scalar (read once per process).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace saga::eltwise {
+
+/// Kernel selector. kAuto resolves at runtime: AVX2+FMA when the CPU and
+/// build support it and SAGA_FORCE_SCALAR_ELTWISE is unset, else scalar.
+enum class Kernel { kAuto, kScalar, kAvx2 };
+
+/// True when this build contains the AVX2 eltwise kernels and the CPU
+/// reports AVX2+FMA. Ignores the SAGA_FORCE_SCALAR_ELTWISE override.
+bool cpu_supports_avx2();
+
+/// Kernels dispatchable on this host, honoring SAGA_FORCE_SCALAR_ELTWISE.
+/// Always contains kScalar; test harnesses iterate this list.
+std::vector<Kernel> available_kernels();
+
+/// Human-readable kernel name, with kAuto resolved to the dispatcher's pick.
+std::string kernel_name(Kernel kernel = Kernel::kAuto);
+
+/// RAII guard pinning this thread's dispatch to one kernel — for tests and
+/// benches that compare kernels. Throws std::runtime_error if `kernel` is
+/// not available on this host. Nestable; restores the previous pin.
+class ForceKernelGuard {
+ public:
+  explicit ForceKernelGuard(Kernel kernel);
+  ~ForceKernelGuard();
+  ForceKernelGuard(const ForceKernelGuard&) = delete;
+  ForceKernelGuard& operator=(const ForceKernelGuard&) = delete;
+
+ private:
+  Kernel previous_;
+};
+
+// ---- fused ops (autograd-aware, drop-in for their composed chains) -------
+
+/// y = x + bias, bias a [D] vector broadcast over the rows of x's trailing
+/// dimension. Replaces `add(x, bias)`'s generic broadcast odometer with one
+/// contiguous row sweep.
+Tensor bias_add(const Tensor& x, const Tensor& bias);
+
+/// y = gelu(x + bias) in one pass (tanh approximation, as ops.cpp gelu).
+/// `bias` may be an undefined Tensor for plain fused GELU; saga::gelu
+/// routes here.
+Tensor bias_gelu(const Tensor& x, const Tensor& bias);
+
+/// y = layer_norm(x + residual) over the last dimension with learned
+/// gamma/beta — the transformer's residual join and norm in one sweep.
+/// `residual` may be an undefined Tensor for plain layer norm (the
+/// nn::LayerNorm fast path); its shape must equal x's otherwise.
+Tensor residual_layer_norm(const Tensor& x, const Tensor& residual,
+                           const Tensor& gamma, const Tensor& beta,
+                           float eps = 1e-5F);
+
+/// out = x + alpha * tile, where tile's shape is a suffix of x's shape and
+/// is repeated across the leading dimensions (tail-aligned contiguous
+/// broadcast; e.g. positional [T, H] added to [B, T, H] activations).
+Tensor scale_add(const Tensor& x, const Tensor& tile, float alpha = 1.0F);
+
+}  // namespace saga::eltwise

@@ -1,0 +1,29 @@
+// Scalar GELU reference arithmetic shared by both eltwise kernel TUs. Not
+// part of the public API — include only from src/tensor/eltwise/*.cpp.
+//
+// This is the single definition of the tanh-approximation constants and the
+// scalar forward/gradient formulas (historically ops.cpp's GeluPolicy). The
+// scalar kernel uses it for every element; the AVX2 kernel uses it for tail
+// elements past the last full vector — keeping both bit-identical to the
+// composed reference depends on there being exactly one copy.
+#pragma once
+
+#include <cmath>
+
+namespace saga::eltwise::detail {
+
+inline constexpr float kGeluC = 0.7978845608028654F;  // sqrt(2/pi)
+inline constexpr float kGeluA = 0.044715F;
+
+inline float gelu_fwd_ref(float x) {
+  return 0.5F * x * (1.0F + std::tanh(kGeluC * (x + kGeluA * x * x * x)));
+}
+
+inline float gelu_grad_ref(float x) {
+  const float x3 = x * x * x;
+  const float t = std::tanh(kGeluC * (x + kGeluA * x3));
+  const float dt = (1.0F - t * t) * kGeluC * (1.0F + 3.0F * kGeluA * x * x);
+  return 0.5F * (1.0F + t) + 0.5F * x * dt;
+}
+
+}  // namespace saga::eltwise::detail

@@ -1,0 +1,141 @@
+// Portable eltwise kernels: the semantic reference for the fused ops.
+//
+// Each loop performs exactly the per-element arithmetic of the composed ops
+// it replaces (ops.cpp GeluPolicy, reduce.cpp layer_norm_lastdim, broadcast
+// add), in the same order — so forced-scalar fused results are bit-identical
+// to the composed reference path (tested in tests/test_eltwise.cpp).
+#include <cmath>
+
+#include "tensor/eltwise/gelu_math.hpp"
+#include "tensor/eltwise/kernels.hpp"
+
+namespace saga::eltwise::detail {
+
+namespace {
+
+void tile_add(const float* x, const float* t, float alpha, float* out,
+              std::int64_t blocks, std::int64_t m) {
+  for (std::int64_t b = 0; b < blocks; ++b) {
+    const float* xb = x + b * m;
+    float* ob = out + b * m;
+    for (std::int64_t j = 0; j < m; ++j) ob[j] = xb[j] + alpha * t[j];
+  }
+}
+
+void tile_add_bwd(const float* g, float alpha, float* gt, std::int64_t blocks,
+                  std::int64_t m) {
+  for (std::int64_t b = 0; b < blocks; ++b) {
+    const float* gb = g + b * m;
+    for (std::int64_t j = 0; j < m; ++j) gt[j] += alpha * gb[j];
+  }
+}
+
+void bias_gelu(const float* x, const float* t, float* y, std::int64_t blocks,
+               std::int64_t m) {
+  if (t == nullptr) {
+    const std::int64_t n = blocks * m;
+    for (std::int64_t i = 0; i < n; ++i) y[i] = gelu_fwd_ref(x[i]);
+    return;
+  }
+  for (std::int64_t b = 0; b < blocks; ++b) {
+    const float* xb = x + b * m;
+    float* yb = y + b * m;
+    for (std::int64_t j = 0; j < m; ++j) yb[j] = gelu_fwd_ref(xb[j] + t[j]);
+  }
+}
+
+void bias_gelu_bwd(const float* x, const float* t, const float* g, float* dx,
+                   float* dt, std::int64_t blocks, std::int64_t m) {
+  for (std::int64_t b = 0; b < blocks; ++b) {
+    const float* xb = x + b * m;
+    const float* gb = g + b * m;
+    float* dxb = dx == nullptr ? nullptr : dx + b * m;
+    for (std::int64_t j = 0; j < m; ++j) {
+      const float z = t == nullptr ? xb[j] : xb[j] + t[j];
+      const float d = gelu_grad_ref(z) * gb[j];
+      if (dxb != nullptr) dxb[j] += d;
+      if (dt != nullptr) dt[j] += d;
+    }
+  }
+}
+
+void layer_norm(const float* x, const float* r, const float* gamma,
+                const float* beta, float eps, float* y, float* xhat,
+                float* inv_std, std::int64_t rows, std::int64_t d) {
+  for (std::int64_t row = 0; row < rows; ++row) {
+    const float* xr = x + row * d;
+    const float* rr = r == nullptr ? nullptr : r + row * d;
+    float* yr = y + row * d;
+    // Stage the summed row in y so the reductions below match the composed
+    // path (add materializes s, then layer_norm reads it) bit-for-bit.
+    if (rr == nullptr) {
+      for (std::int64_t c = 0; c < d; ++c) yr[c] = xr[c];
+    } else {
+      for (std::int64_t c = 0; c < d; ++c) yr[c] = xr[c] + rr[c];
+    }
+    double mu = 0.0;
+    for (std::int64_t c = 0; c < d; ++c) mu += yr[c];
+    mu /= static_cast<double>(d);
+    double var = 0.0;
+    for (std::int64_t c = 0; c < d; ++c) {
+      const double diff = yr[c] - mu;
+      var += diff * diff;
+    }
+    var /= static_cast<double>(d);
+    const float istd = static_cast<float>(1.0 / std::sqrt(double(var) + eps));
+    if (inv_std != nullptr) inv_std[row] = istd;
+    float* xh_row = xhat == nullptr ? nullptr : xhat + row * d;
+    for (std::int64_t c = 0; c < d; ++c) {
+      const float xh = (yr[c] - static_cast<float>(mu)) * istd;
+      if (xh_row != nullptr) xh_row[c] = xh;
+      yr[c] = gamma[c] * xh + beta[c];
+    }
+  }
+}
+
+void layer_norm_bwd(const float* xhat, const float* inv_std,
+                    const float* gamma, const float* g, float* gx, float* gr,
+                    float* ggamma, float* gbeta, std::int64_t rows,
+                    std::int64_t d) {
+  for (std::int64_t row = 0; row < rows; ++row) {
+    const float* grow = g + row * d;
+    const float* xh = xhat + row * d;
+    const float istd = inv_std[row];
+    if (ggamma != nullptr || gbeta != nullptr) {
+      for (std::int64_t c = 0; c < d; ++c) {
+        if (ggamma != nullptr) ggamma[c] += grow[c] * xh[c];
+        if (gbeta != nullptr) gbeta[c] += grow[c];
+      }
+    }
+    if (gx != nullptr || gr != nullptr) {
+      // dx = istd * (h - mean(h) - xhat * mean(h * xhat)), h = gamma * dy.
+      double mean_h = 0.0;
+      double mean_hx = 0.0;
+      for (std::int64_t c = 0; c < d; ++c) {
+        const double h = double(gamma[c]) * grow[c];
+        mean_h += h;
+        mean_hx += h * xh[c];
+      }
+      mean_h /= static_cast<double>(d);
+      mean_hx /= static_cast<double>(d);
+      float* gxr = gx == nullptr ? nullptr : gx + row * d;
+      float* grr = gr == nullptr ? nullptr : gr + row * d;
+      for (std::int64_t c = 0; c < d; ++c) {
+        const double h = double(gamma[c]) * grow[c];
+        const float dxc =
+            static_cast<float>(istd * (h - mean_h - xh[c] * mean_hx));
+        if (gxr != nullptr) gxr[c] += dxc;
+        if (grr != nullptr) grr[c] += dxc;
+      }
+    }
+  }
+}
+
+constexpr Kernels kScalarKernels{tile_add,  tile_add_bwd,  bias_gelu,
+                                 bias_gelu_bwd, layer_norm, layer_norm_bwd};
+
+}  // namespace
+
+const Kernels& scalar_kernels() { return kScalarKernels; }
+
+}  // namespace saga::eltwise::detail

@@ -1,0 +1,68 @@
+// Internal contract between the eltwise driver and its kernels. Not part of
+// the public API — include only from src/tensor/eltwise/*.cpp.
+//
+// All kernels run single-threaded over contiguous storage and are
+// deterministic: for a fixed kernel, repeated runs produce bit-identical
+// results (there is no thread-count or tile-position dependence to worry
+// about — unlike GEMM, every loop here is a plain serial sweep).
+//
+// Tiled views: the bias/positional kernels treat the input as
+// [blocks, m] row-major, where the tile pointer `t` has length m and is
+// broadcast across blocks (bias add: m = D, blocks = rows; positional add:
+// m = T*H, blocks = B). The layer-norm kernels use an explicit [rows, d]
+// view. `blocks`/`rows` of zero are valid no-ops.
+//
+// The scalar kernel is the semantic reference: it performs exactly the same
+// per-element arithmetic, in the same order, as the composed ops it fuses
+// (add + gelu, add + layer_norm_lastdim, broadcast add), so forced-scalar
+// fused results are bit-identical to the composed path. The AVX2 kernel
+// agrees with it only to rounding (vectorized exp/tanh and lane-split
+// reductions), mirroring the gemm kernel contract.
+#pragma once
+
+#include <cstdint>
+
+namespace saga::eltwise::detail {
+
+struct Kernels {
+  /// out[b*m + j] = x[b*m + j] + alpha * t[j]
+  void (*tile_add)(const float* x, const float* t, float alpha, float* out,
+                   std::int64_t blocks, std::int64_t m);
+  /// gt[j] += alpha * sum_b g[b*m + j]  (tile gradient of tile_add)
+  void (*tile_add_bwd)(const float* g, float alpha, float* gt,
+                       std::int64_t blocks, std::int64_t m);
+  /// y[i] = gelu(x[i] + t[i % m]) with the tanh approximation; `t` may be
+  /// nullptr for plain fused GELU (then m is just a chunk length).
+  void (*bias_gelu)(const float* x, const float* t, float* y,
+                    std::int64_t blocks, std::int64_t m);
+  /// Recomputes z = x + t and accumulates dgelu(z) * g into dx (when
+  /// non-null) and its per-tile column sums into dt (when non-null).
+  void (*bias_gelu_bwd)(const float* x, const float* t, const float* g,
+                        float* dx, float* dt, std::int64_t blocks,
+                        std::int64_t m);
+  /// Row-wise layer norm of s = x (+ r when r != nullptr) over [rows, d]:
+  /// y = gamma * (s - mean) * inv_std + beta. When xhat/inv_std are
+  /// non-null (tape active), the normalized rows and per-row inverse
+  /// stddevs are saved for backward; the y arithmetic is identical either
+  /// way.
+  void (*layer_norm)(const float* x, const float* r, const float* gamma,
+                     const float* beta, float eps, float* y, float* xhat,
+                     float* inv_std, std::int64_t rows, std::int64_t d);
+  /// Backward from saved xhat/inv_std. Accumulates the input gradient into
+  /// gx and gr (both nullable; they receive the same addition — the
+  /// residual branch of the sum has derivative 1), and gamma/beta grads
+  /// into ggamma/gbeta (nullable).
+  void (*layer_norm_bwd)(const float* xhat, const float* inv_std,
+                         const float* gamma, const float* g, float* gx,
+                         float* gr, float* ggamma, float* gbeta,
+                         std::int64_t rows, std::int64_t d);
+};
+
+/// Portable reference kernels; always available.
+const Kernels& scalar_kernels();
+
+/// AVX2+FMA kernels, or nullptr when this translation unit was built
+/// without AVX2 support (the driver must also check CPUID before use).
+const Kernels* avx2_kernels();
+
+}  // namespace saga::eltwise::detail

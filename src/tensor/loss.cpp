@@ -28,23 +28,22 @@ Tensor mse_masked(const Tensor& pred, const Tensor& target, const Tensor& mask) 
   const double denom = mask_sum > 0.0 ? mask_sum : 1.0;
   const float loss = static_cast<float>(acc / denom);
 
-  auto p_impl = pred.impl();
-  auto t_impl = target.impl();
-  auto m_impl = mask.impl();
-  return detail::make_op_output(
-      {1}, {loss}, {pred, target, mask}, "mse_masked",
-      [p_impl, t_impl, m_impl, denom](const TensorImpl& o) {
-        if (!detail::wants_grad(*p_impl)) return;
-        float* gp = p_impl->grad_buffer().data();
-        const float* pd = p_impl->data.data();
-        const float* td = t_impl->data.data();
-        const float* md = m_impl->data.data();
-        const float g = o.grad[0];
-        const float scale_factor = static_cast<float>(2.0 / denom) * g;
-        for (std::size_t i = 0; i < p_impl->data.size(); ++i) {
-          gp[i] += scale_factor * md[i] * (pd[i] - td[i]);
-        }
-      });
+  return detail::make_result(
+      {1}, {loss}, {&pred, &target, &mask}, "mse_masked", [&] {
+    return [p_impl = pred.impl(), t_impl = target.impl(),
+            m_impl = mask.impl(), denom](const TensorImpl& o) {
+      if (!detail::wants_grad(*p_impl)) return;
+      float* gp = p_impl->grad_buffer().data();
+      const float* pd = p_impl->data.data();
+      const float* td = t_impl->data.data();
+      const float* md = m_impl->data.data();
+      const float g = o.grad[0];
+      const float scale_factor = static_cast<float>(2.0 / denom) * g;
+      for (std::size_t i = 0; i < p_impl->data.size(); ++i) {
+        gp[i] += scale_factor * md[i] * (pd[i] - td[i]);
+      }
+    };
+  });
 }
 
 Tensor mse(const Tensor& pred, const Tensor& target) {
@@ -85,23 +84,22 @@ Tensor cross_entropy(const Tensor& logits, const std::vector<std::int64_t>& labe
   }
   const float loss = static_cast<float>(loss_acc / static_cast<double>(n));
 
-  auto l_impl = logits.impl();
-  return detail::make_op_output(
-      {1}, {loss}, {logits}, "cross_entropy",
-      [l_impl, labels, n, c, softmax_cache = std::move(softmax_cache)](
-          const TensorImpl& o) {
-        if (!detail::wants_grad(*l_impl)) return;
-        float* gl = l_impl->grad_buffer().data();
-        const float g = o.grad[0] / static_cast<float>(n);
-        for (std::int64_t r = 0; r < n; ++r) {
-          const float* sm = softmax_cache.data() + r * c;
-          float* gr = gl + r * c;
-          const auto y = labels[static_cast<std::size_t>(r)];
-          for (std::int64_t j = 0; j < c; ++j) {
-            gr[j] += g * (sm[j] - (j == y ? 1.0F : 0.0F));
-          }
+  return detail::make_result({1}, {loss}, {&logits}, "cross_entropy", [&] {
+    return [l_impl = logits.impl(), labels, n, c,
+            softmax_cache = std::move(softmax_cache)](const TensorImpl& o) {
+      if (!detail::wants_grad(*l_impl)) return;
+      float* gl = l_impl->grad_buffer().data();
+      const float g = o.grad[0] / static_cast<float>(n);
+      for (std::int64_t r = 0; r < n; ++r) {
+        const float* sm = softmax_cache.data() + r * c;
+        float* gr = gl + r * c;
+        const auto y = labels[static_cast<std::size_t>(r)];
+        for (std::int64_t j = 0; j < c; ++j) {
+          gr[j] += g * (sm[j] - (j == y ? 1.0F : 0.0F));
         }
-      });
+      }
+    };
+  });
 }
 
 Tensor nt_xent(const Tensor& embeddings, float temperature) {

@@ -25,23 +25,21 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
   gemm::gemm(a.data().data(), b.data().data(), out.data(), m, n, k,
              /*trans_a=*/false, /*trans_b=*/false, /*accumulate=*/false);
 
-  auto a_impl = a.impl();
-  auto b_impl = b.impl();
-  return detail::make_op_output(
-      {m, n}, std::move(out), {a, b}, "matmul",
-      [a_impl, b_impl, m, n, k](const TensorImpl& o) {
-        const float* go = o.grad.data();
-        if (detail::wants_grad(*a_impl)) {
-          // dA[M,K] = dC[M,N] x B^T  (B stored [K,N] -> trans_b)
-          gemm::gemm(go, b_impl->data.data(), a_impl->grad_buffer().data(), m,
-                     k, n, false, true, true);
-        }
-        if (detail::wants_grad(*b_impl)) {
-          // dB[K,N] = A^T x dC  (A stored [M,K] -> trans_a)
-          gemm::gemm(a_impl->data.data(), go, b_impl->grad_buffer().data(), k,
-                     n, m, true, false, true);
-        }
-      });
+  return detail::make_result({m, n}, std::move(out), {&a, &b}, "matmul", [&] {
+    return [a_impl = a.impl(), b_impl = b.impl(), m, n, k](const TensorImpl& o) {
+      const float* go = o.grad.data();
+      if (detail::wants_grad(*a_impl)) {
+        // dA[M,K] = dC[M,N] x B^T  (B stored [K,N] -> trans_b)
+        gemm::gemm(go, b_impl->data.data(), a_impl->grad_buffer().data(), m,
+                   k, n, false, true, true);
+      }
+      if (detail::wants_grad(*b_impl)) {
+        // dB[K,N] = A^T x dC  (A stored [M,K] -> trans_a)
+        gemm::gemm(a_impl->data.data(), go, b_impl->grad_buffer().data(), k,
+                   n, m, true, false, true);
+      }
+    };
+  });
 }
 
 Tensor bmm(const Tensor& a, const Tensor& b, bool trans_a, bool trans_b) {
@@ -80,12 +78,10 @@ Tensor bmm(const Tensor& a, const Tensor& b, bool trans_a, bool trans_b) {
                /*accumulate=*/false, gemm::Kernel::kAuto, /*parallel=*/false);
   });
 
-  auto a_impl = a.impl();
-  auto b_impl = b.impl();
-  return detail::make_op_output(
-      {batch, m, n}, std::move(out), {a, b}, "bmm",
-      [a_impl, b_impl, batch, m, n, k, a_stride, b_stride, c_stride, trans_a,
-       trans_b](const TensorImpl& o) {
+  return detail::make_result(
+      {batch, m, n}, std::move(out), {&a, &b}, "bmm", [&] {
+    return [a_impl = a.impl(), b_impl = b.impl(), batch, m, n, k, a_stride,
+            b_stride, c_stride, trans_a, trans_b](const TensorImpl& o) {
         const float* go = o.grad.data();
         const float* adata = a_impl->data.data();
         const float* bdata = b_impl->data.data();
@@ -140,7 +136,8 @@ Tensor bmm(const Tensor& a, const Tensor& b, bool trans_a, bool trans_b) {
             }
           }
         });
-      });
+    };
+  });
 }
 
 }  // namespace saga

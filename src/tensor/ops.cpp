@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "tensor/eltwise/eltwise.hpp"
+
 namespace saga {
 
 namespace {
@@ -72,13 +74,9 @@ Tensor binary_op(const Tensor& a, const Tensor& b, const char* name) {
                        });
   }
 
-  auto a_impl = a.impl();
-  auto b_impl = b.impl();
-  Shape a_shape = a.shape();
-  Shape b_shape = b.shape();
-  return detail::make_op_output(
-      out_shape, std::move(out), {a, b}, name,
-      [a_impl, b_impl, a_shape, b_shape, out_shape](const TensorImpl& o) {
+  return detail::make_result(out_shape, std::move(out), {&a, &b}, name, [&] {
+    return [a_impl = a.impl(), b_impl = b.impl(), a_shape = a.shape(),
+            b_shape = b.shape(), out_shape](const TensorImpl& o) {
         const bool need_a = detail::wants_grad(*a_impl);
         const bool need_b = detail::wants_grad(*b_impl);
         if (!need_a && !need_b) return;
@@ -101,7 +99,8 @@ Tensor binary_op(const Tensor& a, const Tensor& b, const char* name) {
                 if (gb != nullptr) gb[bi] += Policy::dfdb(ad[ai], bd[bi], go[oi]);
               });
         }
-      });
+    };
+  });
 }
 
 struct AddPolicy {
@@ -133,19 +132,19 @@ Tensor unary_op(const Tensor& a, const char* name) {
   const auto av = a.data();
   std::vector<float> out(av.size());
   for (std::size_t i = 0; i < out.size(); ++i) out[i] = Policy::fwd(av[i]);
-  auto a_impl = a.impl();
-  return detail::make_op_output(
-      a.shape(), std::move(out), {a}, name, [a_impl](const TensorImpl& o) {
-        if (!detail::wants_grad(*a_impl)) return;
-        float* ga = a_impl->grad_buffer().data();
-        const float* ad = a_impl->data.data();
-        const float* od = o.data.data();
-        const float* go = o.grad.data();
-        const std::size_t n = o.data.size();
-        for (std::size_t i = 0; i < n; ++i) {
-          ga[i] += Policy::grad(ad[i], od[i], go[i]);
-        }
-      });
+  return detail::make_result(a.shape(), std::move(out), {&a}, name, [&] {
+    return [a_impl = a.impl()](const TensorImpl& o) {
+      if (!detail::wants_grad(*a_impl)) return;
+      float* ga = a_impl->grad_buffer().data();
+      const float* ad = a_impl->data.data();
+      const float* od = o.data.data();
+      const float* go = o.grad.data();
+      const std::size_t n = o.data.size();
+      for (std::size_t i = 0; i < n; ++i) {
+        ga[i] += Policy::grad(ad[i], od[i], go[i]);
+      }
+    };
+  });
 }
 
 struct ReluPolicy {
@@ -180,21 +179,6 @@ struct NegPolicy {
   static float fwd(float x) { return -x; }
   static float grad(float, float, float g) { return -g; }
 };
-struct GeluPolicy {
-  // tanh approximation: 0.5 x (1 + tanh(sqrt(2/pi) (x + 0.044715 x^3)))
-  static constexpr float kC = 0.7978845608028654F;  // sqrt(2/pi)
-  static constexpr float kA = 0.044715F;
-  static float fwd(float x) {
-    return 0.5F * x * (1.0F + std::tanh(kC * (x + kA * x * x * x)));
-  }
-  static float grad(float x, float, float g) {
-    const float x3 = x * x * x;
-    const float t = std::tanh(kC * (x + kA * x3));
-    const float dt = (1.0F - t * t) * kC * (1.0F + 3.0F * kA * x * x);
-    return g * (0.5F * (1.0F + t) + 0.5F * x * dt);
-  }
-};
-
 }  // namespace
 
 Tensor add(const Tensor& a, const Tensor& b) { return binary_op<AddPolicy>(a, b, "add"); }
@@ -203,7 +187,9 @@ Tensor mul(const Tensor& a, const Tensor& b) { return binary_op<MulPolicy>(a, b,
 Tensor div(const Tensor& a, const Tensor& b) { return binary_op<DivPolicy>(a, b, "div"); }
 
 Tensor relu(const Tensor& a) { return unary_op<ReluPolicy>(a, "relu"); }
-Tensor gelu(const Tensor& a) { return unary_op<GeluPolicy>(a, "gelu"); }
+// GELU routes through the fused eltwise engine (vectorized tanh; the scalar
+// kernel performs this file's historical per-element arithmetic exactly).
+Tensor gelu(const Tensor& a) { return eltwise::bias_gelu(a, Tensor()); }
 Tensor tanh_op(const Tensor& a) { return unary_op<TanhPolicy>(a, "tanh"); }
 Tensor sigmoid(const Tensor& a) { return unary_op<SigmoidPolicy>(a, "sigmoid"); }
 Tensor exp_op(const Tensor& a) { return unary_op<ExpPolicy>(a, "exp"); }
@@ -216,30 +202,28 @@ Tensor scale(const Tensor& a, float factor) {
   const auto av = a.data();
   std::vector<float> out(av.size());
   for (std::size_t i = 0; i < out.size(); ++i) out[i] = av[i] * factor;
-  auto a_impl = a.impl();
-  return detail::make_op_output(
-      a.shape(), std::move(out), {a}, "scale",
-      [a_impl, factor](const TensorImpl& o) {
-        if (!detail::wants_grad(*a_impl)) return;
-        float* ga = a_impl->grad_buffer().data();
-        const float* go = o.grad.data();
-        for (std::size_t i = 0; i < o.data.size(); ++i) ga[i] += go[i] * factor;
-      });
+  return detail::make_result(a.shape(), std::move(out), {&a}, "scale", [&] {
+    return [a_impl = a.impl(), factor](const TensorImpl& o) {
+      if (!detail::wants_grad(*a_impl)) return;
+      float* ga = a_impl->grad_buffer().data();
+      const float* go = o.grad.data();
+      for (std::size_t i = 0; i < o.data.size(); ++i) ga[i] += go[i] * factor;
+    };
+  });
 }
 
 Tensor add_scalar(const Tensor& a, float value) {
   const auto av = a.data();
   std::vector<float> out(av.size());
   for (std::size_t i = 0; i < out.size(); ++i) out[i] = av[i] + value;
-  auto a_impl = a.impl();
-  return detail::make_op_output(
-      a.shape(), std::move(out), {a}, "add_scalar",
-      [a_impl](const TensorImpl& o) {
-        if (!detail::wants_grad(*a_impl)) return;
-        float* ga = a_impl->grad_buffer().data();
-        const float* go = o.grad.data();
-        for (std::size_t i = 0; i < o.data.size(); ++i) ga[i] += go[i];
-      });
+  return detail::make_result(a.shape(), std::move(out), {&a}, "add_scalar", [&] {
+    return [a_impl = a.impl()](const TensorImpl& o) {
+      if (!detail::wants_grad(*a_impl)) return;
+      float* ga = a_impl->grad_buffer().data();
+      const float* go = o.grad.data();
+      for (std::size_t i = 0; i < o.data.size(); ++i) ga[i] += go[i];
+    };
+  });
 }
 
 Tensor dropout(const Tensor& a, double p, bool training, util::Rng& rng) {
@@ -257,15 +241,14 @@ Tensor dropout(const Tensor& a, double p, bool training, util::Rng& rng) {
     mask[i] = fast.uniform01() < drop_p ? 0.0F : keep_scale;
     out[i] = av[i] * mask[i];
   }
-  auto a_impl = a.impl();
-  return detail::make_op_output(
-      a.shape(), std::move(out), {a}, "dropout",
-      [a_impl, mask = std::move(mask)](const TensorImpl& o) {
-        if (!detail::wants_grad(*a_impl)) return;
-        float* ga = a_impl->grad_buffer().data();
-        const float* go = o.grad.data();
-        for (std::size_t i = 0; i < o.data.size(); ++i) ga[i] += go[i] * mask[i];
-      });
+  return detail::make_result(a.shape(), std::move(out), {&a}, "dropout", [&] {
+    return [a_impl = a.impl(), mask = std::move(mask)](const TensorImpl& o) {
+      if (!detail::wants_grad(*a_impl)) return;
+      float* ga = a_impl->grad_buffer().data();
+      const float* go = o.grad.data();
+      for (std::size_t i = 0; i < o.data.size(); ++i) ga[i] += go[i] * mask[i];
+    };
+  });
 }
 
 }  // namespace saga

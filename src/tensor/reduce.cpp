@@ -8,29 +8,29 @@ namespace saga {
 Tensor sum(const Tensor& a) {
   double acc = 0.0;
   for (const float v : a.data()) acc += v;
-  auto a_impl = a.impl();
-  return detail::make_op_output(
-      {1}, {static_cast<float>(acc)}, {a}, "sum", [a_impl](const TensorImpl& o) {
-        if (!detail::wants_grad(*a_impl)) return;
-        float* ga = a_impl->grad_buffer().data();
-        const float g = o.grad[0];
-        for (std::size_t i = 0; i < a_impl->data.size(); ++i) ga[i] += g;
-      });
+  return detail::make_result({1}, {static_cast<float>(acc)}, {&a}, "sum", [&] {
+    return [a_impl = a.impl()](const TensorImpl& o) {
+      if (!detail::wants_grad(*a_impl)) return;
+      float* ga = a_impl->grad_buffer().data();
+      const float g = o.grad[0];
+      for (std::size_t i = 0; i < a_impl->data.size(); ++i) ga[i] += g;
+    };
+  });
 }
 
 Tensor mean(const Tensor& a) {
   const auto n = static_cast<double>(a.numel());
   double acc = 0.0;
   for (const float v : a.data()) acc += v;
-  auto a_impl = a.impl();
-  return detail::make_op_output(
-      {1}, {static_cast<float>(acc / n)}, {a}, "mean",
-      [a_impl, n](const TensorImpl& o) {
-        if (!detail::wants_grad(*a_impl)) return;
-        float* ga = a_impl->grad_buffer().data();
-        const float g = static_cast<float>(o.grad[0] / n);
-        for (std::size_t i = 0; i < a_impl->data.size(); ++i) ga[i] += g;
-      });
+  return detail::make_result({1}, {static_cast<float>(acc / n)}, {&a}, "mean",
+                             [&] {
+                               return [a_impl = a.impl(), n](const TensorImpl& o) {
+                                 if (!detail::wants_grad(*a_impl)) return;
+                                 float* ga = a_impl->grad_buffer().data();
+                                 const float g = static_cast<float>(o.grad[0] / n);
+                                 for (std::size_t i = 0; i < a_impl->data.size(); ++i) ga[i] += g;
+                               };
+                             });
 }
 
 Tensor softmax_lastdim(const Tensor& a) {
@@ -51,10 +51,8 @@ Tensor softmax_lastdim(const Tensor& a) {
     const float inv = static_cast<float>(1.0 / denom);
     for (std::int64_t c = 0; c < cols; ++c) y[c] *= inv;
   }
-  auto a_impl = a.impl();
-  return detail::make_op_output(
-      a.shape(), std::move(out), {a}, "softmax",
-      [a_impl, rows, cols](const TensorImpl& o) {
+  return detail::make_result(a.shape(), std::move(out), {&a}, "softmax", [&] {
+    return [a_impl = a.impl(), rows, cols](const TensorImpl& o) {
         if (!detail::wants_grad(*a_impl)) return;
         float* ga = a_impl->grad_buffer().data();
         const float* y = o.data.data();
@@ -69,7 +67,8 @@ Tensor softmax_lastdim(const Tensor& a) {
             gar[c] += yr[c] * (gr[c] - static_cast<float>(dot));
           }
         }
-      });
+    };
+  });
 }
 
 Tensor log_softmax_lastdim(const Tensor& a) {
@@ -87,10 +86,8 @@ Tensor log_softmax_lastdim(const Tensor& a) {
     const float lse = max_v + static_cast<float>(std::log(denom));
     for (std::int64_t c = 0; c < cols; ++c) y[c] = x[c] - lse;
   }
-  auto a_impl = a.impl();
-  return detail::make_op_output(
-      a.shape(), std::move(out), {a}, "log_softmax",
-      [a_impl, rows, cols](const TensorImpl& o) {
+  return detail::make_result(a.shape(), std::move(out), {&a}, "log_softmax", [&] {
+    return [a_impl = a.impl(), rows, cols](const TensorImpl& o) {
         if (!detail::wants_grad(*a_impl)) return;
         float* ga = a_impl->grad_buffer().data();
         const float* y = o.data.data();
@@ -105,7 +102,8 @@ Tensor log_softmax_lastdim(const Tensor& a) {
             gar[c] += gr[c] - std::exp(yr[c]) * static_cast<float>(gsum);
           }
         }
-      });
+    };
+  });
 }
 
 Tensor layer_norm_lastdim(const Tensor& x, const Tensor& gamma,
@@ -115,9 +113,14 @@ Tensor layer_norm_lastdim(const Tensor& x, const Tensor& gamma,
   if (gamma.numel() != cols || beta.numel() != cols) {
     throw std::invalid_argument("layer_norm: gamma/beta must be [D]");
   }
+  // xhat / inv_std are backward-only state: computed and saved only when the
+  // tape is active for these inputs, so NoGrad forwards skip the extra
+  // buffer entirely (the per-element arithmetic producing `out` is identical
+  // either way, keeping NoGrad and tape forwards bit-identical).
+  const bool tape = detail::tape_active({&x, &gamma, &beta});
   std::vector<float> out(static_cast<std::size_t>(x.numel()));
-  std::vector<float> xhat(static_cast<std::size_t>(x.numel()));
-  std::vector<float> inv_std(static_cast<std::size_t>(rows));
+  std::vector<float> xhat(tape ? static_cast<std::size_t>(x.numel()) : 0);
+  std::vector<float> inv_std(tape ? static_cast<std::size_t>(rows) : 0);
   const float* xd = x.data().data();
   const float* gd = gamma.data().data();
   const float* bd = beta.data().data();
@@ -133,22 +136,27 @@ Tensor layer_norm_lastdim(const Tensor& x, const Tensor& gamma,
     }
     var /= static_cast<double>(cols);
     const float istd = static_cast<float>(1.0 / std::sqrt(var + eps));
-    inv_std[static_cast<std::size_t>(r)] = istd;
-    float* xh = xhat.data() + r * cols;
     float* y = out.data() + r * cols;
-    for (std::int64_t c = 0; c < cols; ++c) {
-      xh[c] = (row[c] - static_cast<float>(mu)) * istd;
-      y[c] = gd[c] * xh[c] + bd[c];
+    if (tape) {
+      inv_std[static_cast<std::size_t>(r)] = istd;
+      float* xh_row = xhat.data() + r * cols;
+      for (std::int64_t c = 0; c < cols; ++c) {
+        xh_row[c] = (row[c] - static_cast<float>(mu)) * istd;
+        y[c] = gd[c] * xh_row[c] + bd[c];
+      }
+    } else {
+      for (std::int64_t c = 0; c < cols; ++c) {
+        const float xh = (row[c] - static_cast<float>(mu)) * istd;
+        y[c] = gd[c] * xh + bd[c];
+      }
     }
   }
 
-  auto x_impl = x.impl();
-  auto g_impl = gamma.impl();
-  auto b_impl = beta.impl();
-  return detail::make_op_output(
-      x.shape(), std::move(out), {x, gamma, beta}, "layer_norm",
-      [x_impl, g_impl, b_impl, rows, cols, xhat = std::move(xhat),
-       inv_std = std::move(inv_std)](const TensorImpl& o) {
+  return detail::make_result(
+      x.shape(), std::move(out), {&x, &gamma, &beta}, "layer_norm", [&] {
+    return [x_impl = x.impl(), g_impl = gamma.impl(), b_impl = beta.impl(),
+            rows, cols, xhat = std::move(xhat),
+            inv_std = std::move(inv_std)](const TensorImpl& o) {
         const float* go = o.grad.data();
         const float* gamma_d = g_impl->data.data();
         const bool need_x = detail::wants_grad(*x_impl);
@@ -186,7 +194,8 @@ Tensor layer_norm_lastdim(const Tensor& x, const Tensor& gamma,
             }
           }
         }
-      });
+    };
+  });
 }
 
 Tensor mean_over_time(const Tensor& x) {
@@ -206,21 +215,20 @@ Tensor mean_over_time(const Tensor& x) {
   const float inv = 1.0F / static_cast<float>(t);
   for (auto& v : out) v *= inv;
 
-  auto x_impl = x.impl();
-  return detail::make_op_output(
-      {b, d}, std::move(out), {x}, "mean_over_time",
-      [x_impl, b, t, d, inv](const TensorImpl& o) {
-        if (!detail::wants_grad(*x_impl)) return;
-        float* gx = x_impl->grad_buffer().data();
-        const float* go = o.grad.data();
-        for (std::int64_t i = 0; i < b; ++i) {
-          const float* grow = go + i * d;
-          for (std::int64_t s = 0; s < t; ++s) {
-            float* gxr = gx + (i * t + s) * d;
-            for (std::int64_t c = 0; c < d; ++c) gxr[c] += grow[c] * inv;
-          }
+  return detail::make_result({b, d}, std::move(out), {&x}, "mean_over_time", [&] {
+    return [x_impl = x.impl(), b, t, d, inv](const TensorImpl& o) {
+      if (!detail::wants_grad(*x_impl)) return;
+      float* gx = x_impl->grad_buffer().data();
+      const float* go = o.grad.data();
+      for (std::int64_t i = 0; i < b; ++i) {
+        const float* grow = go + i * d;
+        for (std::int64_t s = 0; s < t; ++s) {
+          float* gxr = gx + (i * t + s) * d;
+          for (std::int64_t c = 0; c < d; ++c) gxr[c] += grow[c] * inv;
         }
-      });
+      }
+    };
+  });
 }
 
 std::vector<std::int64_t> argmax_lastdim(const Tensor& a) {

@@ -58,15 +58,15 @@ Tensor reshape(const Tensor& a, Shape new_shape) {
                                 shape_str(new_shape));
   }
   std::vector<float> out(a.data().begin(), a.data().end());
-  auto a_impl = a.impl();
-  return detail::make_op_output(
-      std::move(new_shape), std::move(out), {a}, "reshape",
-      [a_impl](const TensorImpl& o) {
-        if (!detail::wants_grad(*a_impl)) return;
-        float* ga = a_impl->grad_buffer().data();
-        const float* go = o.grad.data();
-        for (std::size_t i = 0; i < o.data.size(); ++i) ga[i] += go[i];
-      });
+  return detail::make_result(
+      std::move(new_shape), std::move(out), {&a}, "reshape", [&] {
+    return [a_impl = a.impl()](const TensorImpl& o) {
+      if (!detail::wants_grad(*a_impl)) return;
+      float* ga = a_impl->grad_buffer().data();
+      const float* go = o.grad.data();
+      for (std::size_t i = 0; i < o.data.size(); ++i) ga[i] += go[i];
+    };
+  });
 }
 
 Tensor slice(const Tensor& a, std::int64_t dim, std::int64_t start,
@@ -92,20 +92,20 @@ Tensor slice(const Tensor& a, std::int64_t dim, std::int64_t start,
                 static_cast<std::size_t>(g.mid_dst * g.inner) * sizeof(float));
   }
 
-  auto a_impl = a.impl();
-  return detail::make_op_output(
-      std::move(out_shape), std::move(out), {a}, "slice",
-      [a_impl, g, start](const TensorImpl& o) {
-        if (!detail::wants_grad(*a_impl)) return;
-        float* ga = a_impl->grad_buffer().data();
-        const float* go = o.grad.data();
-        for (std::int64_t ob = 0; ob < g.outer; ++ob) {
-          float* dst_block = ga + (ob * g.mid_src + start) * g.inner;
-          const float* src_block = go + ob * g.mid_dst * g.inner;
-          const std::int64_t count = g.mid_dst * g.inner;
-          for (std::int64_t i = 0; i < count; ++i) dst_block[i] += src_block[i];
-        }
-      });
+  return detail::make_result(
+      std::move(out_shape), std::move(out), {&a}, "slice", [&] {
+    return [a_impl = a.impl(), g, start](const TensorImpl& o) {
+      if (!detail::wants_grad(*a_impl)) return;
+      float* ga = a_impl->grad_buffer().data();
+      const float* go = o.grad.data();
+      for (std::int64_t ob = 0; ob < g.outer; ++ob) {
+        float* dst_block = ga + (ob * g.mid_src + start) * g.inner;
+        const float* src_block = go + ob * g.mid_dst * g.inner;
+        const std::int64_t count = g.mid_dst * g.inner;
+        for (std::int64_t i = 0; i < count; ++i) dst_block[i] += src_block[i];
+      }
+    };
+  });
 }
 
 Tensor select(const Tensor& a, std::int64_t dim, std::int64_t index) {
@@ -160,29 +160,32 @@ Tensor concat(const std::vector<Tensor>& tensors, std::int64_t dim) {
     }
   }
 
-  std::vector<std::shared_ptr<TensorImpl>> impls;
-  std::vector<std::int64_t> mids;
-  impls.reserve(tensors.size());
-  for (const auto& t : tensors) {
-    impls.push_back(t.impl());
-    mids.push_back(t.size(dim));
-  }
-  return detail::make_op_output(
-      std::move(out_shape), std::move(out), tensors, "concat",
-      [impls, mids, offsets, outer, inner, total](const TensorImpl& o) {
-        const float* go = o.grad.data();
-        for (std::size_t idx = 0; idx < impls.size(); ++idx) {
-          if (!detail::wants_grad(*impls[idx])) continue;
-          float* g = impls[idx]->grad_buffer().data();
-          const std::int64_t mid = mids[idx];
-          const std::int64_t off = offsets[idx];
-          for (std::int64_t ob = 0; ob < outer; ++ob) {
-            const float* src = go + (ob * total + off) * inner;
-            float* dst = g + ob * mid * inner;
-            for (std::int64_t i = 0; i < mid * inner; ++i) dst[i] += src[i];
-          }
+  return detail::make_result(
+      std::move(out_shape), std::move(out), tensors, "concat", [&] {
+    std::vector<std::shared_ptr<TensorImpl>> impls;
+    std::vector<std::int64_t> mids;
+    impls.reserve(tensors.size());
+    mids.reserve(tensors.size());
+    for (const auto& t : tensors) {
+      impls.push_back(t.impl());
+      mids.push_back(t.size(dim));
+    }
+    return [impls = std::move(impls), mids = std::move(mids), offsets, outer,
+            inner, total](const TensorImpl& o) {
+      const float* go = o.grad.data();
+      for (std::size_t idx = 0; idx < impls.size(); ++idx) {
+        if (!detail::wants_grad(*impls[idx])) continue;
+        float* g = impls[idx]->grad_buffer().data();
+        const std::int64_t mid = mids[idx];
+        const std::int64_t off = offsets[idx];
+        for (std::int64_t ob = 0; ob < outer; ++ob) {
+          const float* src = go + (ob * total + off) * inner;
+          float* dst = g + ob * mid * inner;
+          for (std::int64_t i = 0; i < mid * inner; ++i) dst[i] += src[i];
         }
-      });
+      }
+    };
+  });
 }
 
 Tensor transpose_last2(const Tensor& a) {
@@ -205,23 +208,23 @@ Tensor transpose_last2(const Tensor& a) {
     }
   }
 
-  auto a_impl = a.impl();
-  return detail::make_op_output(
-      std::move(out_shape), std::move(out), {a}, "transpose_last2",
-      [a_impl, batch, rows, cols](const TensorImpl& o) {
-        if (!detail::wants_grad(*a_impl)) return;
-        float* ga = a_impl->grad_buffer().data();
-        const float* go = o.grad.data();
-        for (std::int64_t b = 0; b < batch; ++b) {
-          const float* gb = go + b * rows * cols;
-          float* ab = ga + b * rows * cols;
-          for (std::int64_t r = 0; r < rows; ++r) {
-            for (std::int64_t c = 0; c < cols; ++c) {
-              ab[r * cols + c] += gb[c * rows + r];
-            }
+  return detail::make_result(
+      std::move(out_shape), std::move(out), {&a}, "transpose_last2", [&] {
+    return [a_impl = a.impl(), batch, rows, cols](const TensorImpl& o) {
+      if (!detail::wants_grad(*a_impl)) return;
+      float* ga = a_impl->grad_buffer().data();
+      const float* go = o.grad.data();
+      for (std::int64_t b = 0; b < batch; ++b) {
+        const float* gb = go + b * rows * cols;
+        float* ab = ga + b * rows * cols;
+        for (std::int64_t r = 0; r < rows; ++r) {
+          for (std::int64_t c = 0; c < cols; ++c) {
+            ab[r * cols + c] += gb[c * rows + r];
           }
         }
-      });
+      }
+    };
+  });
 }
 
 Tensor stack(const std::vector<Tensor>& tensors) {

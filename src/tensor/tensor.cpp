@@ -178,29 +178,64 @@ void Tensor::backward() {
 
 namespace detail {
 
-Tensor make_op_output(Shape shape, std::vector<float> data,
-                      const std::vector<Tensor>& inputs, std::string op_name,
-                      std::function<void(const TensorImpl&)> backward) {
-  Tensor out = Tensor::from_data(std::move(shape), std::move(data), false);
-  if (!grad_enabled()) return out;
-  bool any_grad = false;
-  for (const auto& input : inputs) {
-    if (input.defined() &&
-        (input.requires_grad() || input.impl()->node != nullptr)) {
-      any_grad = true;
-      break;
-    }
-  }
-  if (!any_grad) return out;
+namespace {
 
+thread_local std::uint64_t t_nodes_created = 0;
+
+inline bool input_carries_tape(const Tensor& input) noexcept {
+  return input.defined() &&
+         (input.requires_grad() || input.impl()->node != nullptr);
+}
+
+template <typename Range, typename Deref>
+std::shared_ptr<AutogradNode> build_node(
+    const Range& inputs, Deref&& deref, const char* op_name,
+    std::function<void(const TensorImpl&)> backward) {
   auto node = std::make_shared<AutogradNode>();
-  node->op = std::move(op_name);
+  node->op = op_name;
   node->inputs.reserve(inputs.size());
-  for (const auto& input : inputs) node->inputs.push_back(input.impl());
+  for (const auto& input : inputs) node->inputs.push_back(deref(input).impl());
   node->backward = std::move(backward);
-  out.impl()->node = std::move(node);
+  ++t_nodes_created;
+  return node;
+}
+
+}  // namespace
+
+bool tape_active(std::initializer_list<const Tensor*> inputs) noexcept {
+  if (!grad_enabled()) return false;
+  for (const Tensor* input : inputs) {
+    if (input_carries_tape(*input)) return true;
+  }
+  return false;
+}
+
+bool tape_active(const std::vector<Tensor>& inputs) noexcept {
+  if (!grad_enabled()) return false;
+  for (const Tensor& input : inputs) {
+    if (input_carries_tape(input)) return true;
+  }
+  return false;
+}
+
+std::uint64_t autograd_nodes_created() noexcept { return t_nodes_created; }
+
+void attach_node(Tensor& out, std::initializer_list<const Tensor*> inputs,
+                 const char* op_name,
+                 std::function<void(const TensorImpl&)> backward) {
+  out.impl()->node = build_node(
+      inputs, [](const Tensor* t) -> const Tensor& { return *t; }, op_name,
+      std::move(backward));
   out.impl()->requires_grad = true;
-  return out;
+}
+
+void attach_node(Tensor& out, const std::vector<Tensor>& inputs,
+                 const char* op_name,
+                 std::function<void(const TensorImpl&)> backward) {
+  out.impl()->node = build_node(
+      inputs, [](const Tensor& t) -> const Tensor& { return t; }, op_name,
+      std::move(backward));
+  out.impl()->requires_grad = true;
 }
 
 }  // namespace detail

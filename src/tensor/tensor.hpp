@@ -108,16 +108,57 @@ class Tensor {
 
 namespace detail {
 
-/// Creates an op output: allocates storage, propagates requires_grad from
-/// inputs, and (when grad mode is on and some input needs grad) attaches a
-/// node with the given backward closure.
-Tensor make_op_output(Shape shape, std::vector<float> data,
-                      const std::vector<Tensor>& inputs, std::string op_name,
-                      std::function<void(const TensorImpl&)> backward);
-
 /// True when gradients must flow into this impl during backward.
 inline bool wants_grad(const TensorImpl& impl) noexcept {
   return impl.requires_grad;
+}
+
+/// True when a new op output over these inputs must record autograd state:
+/// grad mode is enabled on this thread AND some input requires grad or
+/// already carries tape history. Ops use this to decide up front whether to
+/// compute/save backward-only intermediates at all.
+bool tape_active(std::initializer_list<const Tensor*> inputs) noexcept;
+bool tape_active(const std::vector<Tensor>& inputs) noexcept;
+
+/// AutogradNode objects created on this thread since it started. A NoGrad
+/// forward must leave this unchanged — the tape-skip contract is tested
+/// against it.
+std::uint64_t autograd_nodes_created() noexcept;
+
+/// Attaches an AutogradNode (op name, parent edges, backward closure) to
+/// `out` and marks it gradient-requiring. Callers must have checked
+/// tape_active() first; make_result below does both.
+void attach_node(Tensor& out, std::initializer_list<const Tensor*> inputs,
+                 const char* op_name,
+                 std::function<void(const TensorImpl&)> backward);
+void attach_node(Tensor& out, const std::vector<Tensor>& inputs,
+                 const char* op_name,
+                 std::function<void(const TensorImpl&)> backward);
+
+/// Creates an op output: allocates storage and, only when the tape is
+/// active for `inputs`, attaches an autograd node. The backward closure is
+/// built lazily — `factory` (callable returning the backward closure) runs
+/// only on the tape path, so NoGrad forwards allocate no AutogradNode, no
+/// parent edges, and no std::function capture state.
+template <typename BackwardFactory>
+Tensor make_result(Shape shape, std::vector<float> data,
+                   std::initializer_list<const Tensor*> inputs,
+                   const char* op_name, BackwardFactory&& factory) {
+  const bool record = tape_active(inputs);
+  Tensor out = Tensor::from_data(std::move(shape), std::move(data), false);
+  if (record) attach_node(out, inputs, op_name, factory());
+  return out;
+}
+
+/// Overload for ops with a runtime-sized input list (concat/stack).
+template <typename BackwardFactory>
+Tensor make_result(Shape shape, std::vector<float> data,
+                   const std::vector<Tensor>& inputs, const char* op_name,
+                   BackwardFactory&& factory) {
+  const bool record = tape_active(inputs);
+  Tensor out = Tensor::from_data(std::move(shape), std::move(data), false);
+  if (record) attach_node(out, inputs, op_name, factory());
+  return out;
 }
 
 }  // namespace detail
