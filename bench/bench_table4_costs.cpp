@@ -25,16 +25,22 @@ using Clock = std::chrono::steady_clock;
 namespace {
 
 // Bytes of data+grad held by every tensor reachable from `loss`'s graph.
+// Views alias their base tensor's Storage, so buffers are deduplicated by
+// storage — an aliased slice adds no bytes beyond its base.
 double graph_megabytes(const Tensor& loss) {
   std::unordered_set<const TensorImpl*> seen;
+  std::unordered_set<const Storage*> storages;
   std::vector<const TensorImpl*> stack{loss.impl().get()};
   double bytes = 0.0;
   while (!stack.empty()) {
     const TensorImpl* impl = stack.back();
     stack.pop_back();
     if (!seen.insert(impl).second) continue;
-    bytes += static_cast<double>(impl->data.size() + impl->grad.size()) *
-             sizeof(float);
+    if (storages.insert(impl->storage.get()).second) {
+      bytes += static_cast<double>(impl->storage->data.size() +
+                                   impl->storage->grad.size()) *
+               sizeof(float);
+    }
     if (impl->node) {
       for (const auto& input : impl->node->inputs) stack.push_back(input.get());
     }

@@ -6,9 +6,11 @@
 #   ./scripts/check.sh --strict   same, with warnings-as-errors into
 #                                 <repo>/build-strict (the CI `strict` job)
 #   ./scripts/check.sh --tsan     ThreadSanitizer build into <repo>/build-tsan,
-#                                 running the serve concurrency suite (the
-#                                 dispatcher/router threading is what TSan is
-#                                 for; the full suite under TSan is too slow)
+#                                 running the serve concurrency suite plus the
+#                                 view-aliasing and fused-GRU suites (shared
+#                                 Storage buffers under the pooled matmul
+#                                 backward; the full suite under TSan is too
+#                                 slow)
 #   ./scripts/check.sh --asan     AddressSanitizer build into <repo>/build-asan,
 #                                 running the tensor-stack + serve suites —
 #                                 the eltwise/gemm kernel edge paths, the
@@ -20,7 +22,8 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 ASAN_TARGETS=(test_eltwise test_tensor_ops test_reduce_loss test_shape_ops
-  test_matmul test_attention test_nn test_serve)
+  test_matmul test_attention test_nn test_serve test_views test_gru_cell)
+TSAN_TARGETS=(test_serve test_views test_gru_cell)
 
 BUILD_DIR=build
 if [[ "${1:-}" == "--strict" ]]; then
@@ -30,9 +33,10 @@ elif [[ "${1:-}" == "--tsan" ]]; then
   BUILD_DIR=build-tsan
   cmake -B "$BUILD_DIR" -S . -DSAGA_TSAN=ON -DSAGA_BUILD_BENCH=OFF \
     -DSAGA_BUILD_EXAMPLES=OFF
-  cmake --build "$BUILD_DIR" -j "$(nproc)" --target test_serve
+  cmake --build "$BUILD_DIR" -j "$(nproc)" --target "${TSAN_TARGETS[@]}"
   cd "$BUILD_DIR"
-  ctest --output-on-failure -R '^test_serve$'
+  ctest --output-on-failure \
+    -R "^($(IFS='|'; echo "${TSAN_TARGETS[*]}"))\$"
   exit 0
 elif [[ "${1:-}" == "--asan" ]]; then
   BUILD_DIR=build-asan

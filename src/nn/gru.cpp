@@ -32,6 +32,14 @@ Tensor GRUCell::precompute_inputs(const Tensor& x_flat) const {
 }
 
 Tensor GRUCell::step(const Tensor& gi, const Tensor& h) const {
+  // gh = h W_hh + b_hh. Gate order: [r | z | n]. The fused cell folds the
+  // whole gate chain (two sigmoids, a tanh, and the convex state blend) into
+  // one sweep; gi passes through as a strided view when it is a timestep
+  // slice of the layer's precomputed gate buffer.
+  return eltwise::gru_cell(gi, eltwise::bias_add(matmul(h, w_hh_), b_hh_), h);
+}
+
+Tensor GRUCell::step_composed(const Tensor& gi, const Tensor& h) const {
   // gh = h W_hh + b_hh. Gate order: [r | z | n].
   const Tensor gh = eltwise::bias_add(matmul(h, w_hh_), b_hh_);
 

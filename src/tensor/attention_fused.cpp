@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "tensor/gemm/gemm.hpp"
+#include "tensor/shape_ops.hpp"
 #include "util/thread_pool.hpp"
 
 namespace saga {
@@ -29,11 +30,15 @@ inline void head_gemm(const float* a, std::int64_t lda, const float* b,
 
 }  // namespace
 
-Tensor fused_multi_head_attention(const Tensor& q, const Tensor& k,
-                                  const Tensor& v, std::int64_t num_heads) {
-  if (q.dim() != 3 || k.shape() != q.shape() || v.shape() != q.shape()) {
+Tensor fused_multi_head_attention(const Tensor& q_in, const Tensor& k_in,
+                                  const Tensor& v_in, std::int64_t num_heads) {
+  if (q_in.dim() != 3 || k_in.shape() != q_in.shape() ||
+      v_in.shape() != q_in.shape()) {
     throw std::invalid_argument("fused_attention: q/k/v must share [B,T,D]");
   }
+  const Tensor q = contiguous(q_in);
+  const Tensor k = contiguous(k_in);
+  const Tensor v = contiguous(v_in);
   const std::int64_t batch = q.size(0);
   const std::int64_t seq = q.size(1);
   const std::int64_t dim = q.size(2);
@@ -111,12 +116,12 @@ Tensor fused_multi_head_attention(const Tensor& q, const Tensor& k,
         const bool need_k = detail::wants_grad(*k_impl);
         const bool need_v = detail::wants_grad(*v_impl);
         if (!need_q && !need_k && !need_v) return;
-        float* gq = need_q ? q_impl->grad_buffer().data() : nullptr;
-        float* gk = need_k ? k_impl->grad_buffer().data() : nullptr;
-        float* gv = need_v ? v_impl->grad_buffer().data() : nullptr;
-        const float* qb = q_impl->data.data();
-        const float* kb = k_impl->data.data();
-        const float* go = o.grad.data();
+        float* gq = need_q ? q_impl->grad_ptr() : nullptr;
+        float* gk = need_k ? k_impl->grad_ptr() : nullptr;
+        float* gv = need_v ? v_impl->grad_ptr() : nullptr;
+        const float* qb = q_impl->data_ptr();
+        const float* kb = k_impl->data_ptr();
+        const float* go = o.grad_ptr();
 
         // Parallel over (b, h): every pair touches disjoint channel ranges of
         // the gradients, so no synchronization is needed.
@@ -144,7 +149,7 @@ Tensor fused_multi_head_attention(const Tensor& q, const Tensor& k,
           if (static_cast<std::int64_t>(ds.size()) < seq * seq) {
             ds.resize(static_cast<std::size_t>(seq * seq));
           }
-          head_gemm(go_h, dim, v_impl->data.data() + offset(b, 0, c0, seq, dim),
+          head_gemm(go_h, dim, v_impl->data_ptr() + offset(b, 0, c0, seq, dim),
                     dim, ds.data(), seq, seq, seq, head_dim, /*trans_a=*/false,
                     /*trans_b=*/true, /*accumulate=*/false);
           for (std::int64_t i = 0; i < seq; ++i) {

@@ -82,4 +82,13 @@ Tensor residual_layer_norm(const Tensor& x, const Tensor& residual,
 /// broadcast; e.g. positional [T, H] added to [B, T, H] activations).
 Tensor scale_add(const Tensor& x, const Tensor& tile, float alpha = 1.0F);
 
+/// Fused GRU cell: h' = (1 - z) * n + z * h with r/z/n computed from the
+/// packed [r | z | n] gate pre-activations gi ([B, 3H], input side — may be
+/// a row-strided view, e.g. one timestep selected from a [B, T, 3H] buffer;
+/// consumed without copying) and gh ([B, 3H], hidden side), and previous
+/// state h ([B, H]). Replaces the composed sigmoid/tanh/mul/add gate chain
+/// with one sweep; under the forced-scalar kernel the result (fwd and bwd)
+/// is bit-identical to the composed chain.
+Tensor gru_cell(const Tensor& gi, const Tensor& gh, const Tensor& h);
+
 }  // namespace saga::eltwise

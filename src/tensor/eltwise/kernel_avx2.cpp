@@ -12,6 +12,7 @@
 // still individually deterministic — plain serial sweeps, no thread or tile
 // dependence.
 #include "tensor/eltwise/gelu_math.hpp"
+#include "tensor/eltwise/gru_math.hpp"
 #include "tensor/eltwise/kernels.hpp"
 
 #if defined(__AVX2__) && defined(__FMA__)
@@ -329,8 +330,130 @@ void layer_norm_bwd(const float* xhat, const float* inv_std,
   }
 }
 
+// sigmoid(x) = 1 / (1 + exp(-x)). exp256's +/-87 clamp keeps the
+// denominator finite, so the lanes saturate to exactly 0/1 like the scalar
+// reference.
+inline __m256 sigmoid256(__m256 x) {
+  const __m256 one = _mm256_set1_ps(1.0F);
+  const __m256 e = exp256(_mm256_sub_ps(_mm256_setzero_ps(), x));
+  return _mm256_div_ps(one, _mm256_add_ps(one, e));
+}
+
+void gru_cell(const float* gi, std::int64_t gi_stride, const float* gh,
+              const float* h, float* out, float* rzn, std::int64_t batch,
+              std::int64_t hidden) {
+  const __m256 one = _mm256_set1_ps(1.0F);
+  for (std::int64_t b = 0; b < batch; ++b) {
+    const float* gib = gi + b * gi_stride;
+    const float* ghb = gh + b * 3 * hidden;
+    const float* hb = h + b * hidden;
+    float* ob = out + b * hidden;
+    float* rznb = rzn == nullptr ? nullptr : rzn + b * 3 * hidden;
+    std::int64_t j = 0;
+    for (; j + 8 <= hidden; j += 8) {
+      const __m256 r = sigmoid256(
+          _mm256_add_ps(_mm256_loadu_ps(gib + j), _mm256_loadu_ps(ghb + j)));
+      const __m256 z = sigmoid256(
+          _mm256_add_ps(_mm256_loadu_ps(gib + hidden + j),
+                        _mm256_loadu_ps(ghb + hidden + j)));
+      const __m256 n = tanh256(
+          _mm256_fmadd_ps(r, _mm256_loadu_ps(ghb + 2 * hidden + j),
+                          _mm256_loadu_ps(gib + 2 * hidden + j)));
+      if (rznb != nullptr) {
+        _mm256_storeu_ps(rznb + j, r);
+        _mm256_storeu_ps(rznb + hidden + j, z);
+        _mm256_storeu_ps(rznb + 2 * hidden + j, n);
+      }
+      const __m256 omz = _mm256_sub_ps(one, z);
+      _mm256_storeu_ps(
+          ob + j, _mm256_fmadd_ps(omz, n,
+                                  _mm256_mul_ps(z, _mm256_loadu_ps(hb + j))));
+    }
+    for (; j < hidden; ++j) {
+      float r;
+      float z;
+      float n;
+      ob[j] = gru_cell_fwd_ref(gib[j], gib[hidden + j], gib[2 * hidden + j],
+                               ghb[j], ghb[hidden + j], ghb[2 * hidden + j],
+                               hb[j], r, z, n);
+      if (rznb != nullptr) {
+        rznb[j] = r;
+        rznb[hidden + j] = z;
+        rznb[2 * hidden + j] = n;
+      }
+    }
+  }
+}
+
+void gru_cell_bwd(const float* rzn, const float* gh, const float* h,
+                  const float* g, float* dgi, std::int64_t gi_stride,
+                  float* dgh, float* dh, std::int64_t batch,
+                  std::int64_t hidden) {
+  const __m256 one = _mm256_set1_ps(1.0F);
+  for (std::int64_t b = 0; b < batch; ++b) {
+    const float* rznb = rzn + b * 3 * hidden;
+    const float* ghb = gh + b * 3 * hidden;
+    const float* hb = h + b * hidden;
+    const float* gb = g + b * hidden;
+    float* dgib = dgi == nullptr ? nullptr : dgi + b * gi_stride;
+    float* dghb = dgh == nullptr ? nullptr : dgh + b * 3 * hidden;
+    float* dhb = dh == nullptr ? nullptr : dh + b * hidden;
+    std::int64_t j = 0;
+    for (; j + 8 <= hidden; j += 8) {
+      const __m256 r = _mm256_loadu_ps(rznb + j);
+      const __m256 z = _mm256_loadu_ps(rznb + hidden + j);
+      const __m256 n = _mm256_loadu_ps(rznb + 2 * hidden + j);
+      const __m256 gv = _mm256_loadu_ps(gb + j);
+      const __m256 omz = _mm256_sub_ps(one, z);
+      // gz = g*h - g*n; gn = g*(1-z); ga3 = gn*(1-n^2)
+      const __m256 gz = _mm256_fmsub_ps(gv, _mm256_loadu_ps(hb + j),
+                                        _mm256_mul_ps(gv, n));
+      const __m256 gn = _mm256_mul_ps(gv, omz);
+      const __m256 ga3 = _mm256_mul_ps(gn, _mm256_fnmadd_ps(n, n, one));
+      const __m256 gr =
+          _mm256_mul_ps(ga3, _mm256_loadu_ps(ghb + 2 * hidden + j));
+      const __m256 dghn = _mm256_mul_ps(ga3, r);
+      const __m256 ga2 = _mm256_mul_ps(_mm256_mul_ps(gz, z),
+                                       _mm256_sub_ps(one, z));
+      const __m256 ga1 = _mm256_mul_ps(_mm256_mul_ps(gr, r),
+                                       _mm256_sub_ps(one, r));
+      const auto acc = [](float* p, __m256 v) {
+        _mm256_storeu_ps(p, _mm256_add_ps(_mm256_loadu_ps(p), v));
+      };
+      if (dgib != nullptr) {
+        acc(dgib + j, ga1);
+        acc(dgib + hidden + j, ga2);
+        acc(dgib + 2 * hidden + j, ga3);
+      }
+      if (dghb != nullptr) {
+        acc(dghb + j, ga1);
+        acc(dghb + hidden + j, ga2);
+        acc(dghb + 2 * hidden + j, dghn);
+      }
+      if (dhb != nullptr) acc(dhb + j, _mm256_mul_ps(gv, z));
+    }
+    for (; j < hidden; ++j) {
+      const GruCellGrads d =
+          gru_cell_bwd_ref(rznb[j], rznb[hidden + j], rznb[2 * hidden + j],
+                           ghb[2 * hidden + j], hb[j], gb[j]);
+      if (dgib != nullptr) {
+        dgib[j] += d.dgi_r;
+        dgib[hidden + j] += d.dgi_z;
+        dgib[2 * hidden + j] += d.dgi_n;
+      }
+      if (dghb != nullptr) {
+        dghb[j] += d.dgh_r;
+        dghb[hidden + j] += d.dgh_z;
+        dghb[2 * hidden + j] += d.dgh_n;
+      }
+      if (dhb != nullptr) dhb[j] += d.dh;
+    }
+  }
+}
+
 constexpr Kernels kAvx2Kernels{tile_add,  tile_add_bwd,  bias_gelu,
-                               bias_gelu_bwd, layer_norm, layer_norm_bwd};
+                               bias_gelu_bwd, layer_norm, layer_norm_bwd,
+                               gru_cell, gru_cell_bwd};
 
 }  // namespace
 

@@ -7,6 +7,7 @@
 #include <cmath>
 
 #include "tensor/eltwise/gelu_math.hpp"
+#include "tensor/eltwise/gru_math.hpp"
 #include "tensor/eltwise/kernels.hpp"
 
 namespace saga::eltwise::detail {
@@ -131,8 +132,65 @@ void layer_norm_bwd(const float* xhat, const float* inv_std,
   }
 }
 
+void gru_cell(const float* gi, std::int64_t gi_stride, const float* gh,
+              const float* h, float* out, float* rzn, std::int64_t batch,
+              std::int64_t hidden) {
+  for (std::int64_t b = 0; b < batch; ++b) {
+    const float* gib = gi + b * gi_stride;
+    const float* ghb = gh + b * 3 * hidden;
+    const float* hb = h + b * hidden;
+    float* ob = out + b * hidden;
+    float* rznb = rzn == nullptr ? nullptr : rzn + b * 3 * hidden;
+    for (std::int64_t j = 0; j < hidden; ++j) {
+      float r;
+      float z;
+      float n;
+      ob[j] = gru_cell_fwd_ref(gib[j], gib[hidden + j], gib[2 * hidden + j],
+                               ghb[j], ghb[hidden + j], ghb[2 * hidden + j],
+                               hb[j], r, z, n);
+      if (rznb != nullptr) {
+        rznb[j] = r;
+        rznb[hidden + j] = z;
+        rznb[2 * hidden + j] = n;
+      }
+    }
+  }
+}
+
+void gru_cell_bwd(const float* rzn, const float* gh, const float* h,
+                  const float* g, float* dgi, std::int64_t gi_stride,
+                  float* dgh, float* dh, std::int64_t batch,
+                  std::int64_t hidden) {
+  for (std::int64_t b = 0; b < batch; ++b) {
+    const float* rznb = rzn + b * 3 * hidden;
+    const float* ghb = gh + b * 3 * hidden;
+    const float* hb = h + b * hidden;
+    const float* gb = g + b * hidden;
+    float* dgib = dgi == nullptr ? nullptr : dgi + b * gi_stride;
+    float* dghb = dgh == nullptr ? nullptr : dgh + b * 3 * hidden;
+    float* dhb = dh == nullptr ? nullptr : dh + b * hidden;
+    for (std::int64_t j = 0; j < hidden; ++j) {
+      const GruCellGrads d =
+          gru_cell_bwd_ref(rznb[j], rznb[hidden + j], rznb[2 * hidden + j],
+                           ghb[2 * hidden + j], hb[j], gb[j]);
+      if (dgib != nullptr) {
+        dgib[j] += d.dgi_r;
+        dgib[hidden + j] += d.dgi_z;
+        dgib[2 * hidden + j] += d.dgi_n;
+      }
+      if (dghb != nullptr) {
+        dghb[j] += d.dgh_r;
+        dghb[hidden + j] += d.dgh_z;
+        dghb[2 * hidden + j] += d.dgh_n;
+      }
+      if (dhb != nullptr) dhb[j] += d.dh;
+    }
+  }
+}
+
 constexpr Kernels kScalarKernels{tile_add,  tile_add_bwd,  bias_gelu,
-                                 bias_gelu_bwd, layer_norm, layer_norm_bwd};
+                                 bias_gelu_bwd, layer_norm, layer_norm_bwd,
+                                 gru_cell, gru_cell_bwd};
 
 }  // namespace
 

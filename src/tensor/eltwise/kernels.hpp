@@ -56,6 +56,26 @@ struct Kernels {
                          const float* gamma, const float* g, float* gx,
                          float* gr, float* ggamma, float* gbeta,
                          std::int64_t rows, std::int64_t d);
+  /// Fused GRU cell over a batch: gate pre-activations gi (input side, row b
+  /// at gi + b*gi_stride — may be a row-strided view of a [B,T,3H] buffer)
+  /// and gh (hidden side, dense [B, 3H]), both packed [r | z | n]; h is the
+  /// previous state [B, H]. Writes the new state into out [B, H]. When rzn
+  /// is non-null (tape active) the gate activations r/z/n are saved there
+  /// ([B, 3H], same packing) for backward; the out arithmetic is identical
+  /// either way. The scalar kernel's per-element order matches the composed
+  /// gate chain bit-exactly (see gru_math.hpp).
+  void (*gru_cell)(const float* gi, std::int64_t gi_stride, const float* gh,
+                   const float* h, float* out, float* rzn, std::int64_t batch,
+                   std::int64_t hidden);
+  /// Backward from saved rzn. Accumulates gate-preactivation gradients into
+  /// dgi (row-strided by gi_stride, nullable) and dgh (dense, nullable), and
+  /// the previous-state gradient into dh (nullable). g is the upstream
+  /// gradient [B, H]; gh/h are the forward's inputs (gh_n and h are needed
+  /// to reconstruct the chain).
+  void (*gru_cell_bwd)(const float* rzn, const float* gh, const float* h,
+                       const float* g, float* dgi, std::int64_t gi_stride,
+                       float* dgh, float* dh, std::int64_t batch,
+                       std::int64_t hidden);
 };
 
 /// Portable reference kernels; always available.

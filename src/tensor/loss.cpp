@@ -10,10 +10,15 @@
 
 namespace saga {
 
-Tensor mse_masked(const Tensor& pred, const Tensor& target, const Tensor& mask) {
-  if (pred.shape() != target.shape() || pred.shape() != mask.shape()) {
+Tensor mse_masked(const Tensor& pred_in, const Tensor& target_in,
+                  const Tensor& mask_in) {
+  if (pred_in.shape() != target_in.shape() ||
+      pred_in.shape() != mask_in.shape()) {
     throw std::invalid_argument("mse_masked: shape mismatch");
   }
+  const Tensor pred = contiguous(pred_in);
+  const Tensor target = contiguous(target_in);
+  const Tensor mask = contiguous(mask_in);
   const float* p = pred.data().data();
   const float* t = target.data().data();
   const float* m = mask.data().data();
@@ -33,13 +38,14 @@ Tensor mse_masked(const Tensor& pred, const Tensor& target, const Tensor& mask) 
     return [p_impl = pred.impl(), t_impl = target.impl(),
             m_impl = mask.impl(), denom](const TensorImpl& o) {
       if (!detail::wants_grad(*p_impl)) return;
-      float* gp = p_impl->grad_buffer().data();
-      const float* pd = p_impl->data.data();
-      const float* td = t_impl->data.data();
-      const float* md = m_impl->data.data();
-      const float g = o.grad[0];
+      float* gp = p_impl->grad_ptr();
+      const float* pd = p_impl->data_ptr();
+      const float* td = t_impl->data_ptr();
+      const float* md = m_impl->data_ptr();
+      const float g = o.grad_ptr()[0];
       const float scale_factor = static_cast<float>(2.0 / denom) * g;
-      for (std::size_t i = 0; i < p_impl->data.size(); ++i) {
+      for (std::size_t i = 0; i < static_cast<std::size_t>(p_impl->numel());
+           ++i) {
         gp[i] += scale_factor * md[i] * (pd[i] - td[i]);
       }
     };
@@ -51,8 +57,9 @@ Tensor mse(const Tensor& pred, const Tensor& target) {
   return mse_masked(pred, target, mask);
 }
 
-Tensor cross_entropy(const Tensor& logits, const std::vector<std::int64_t>& labels) {
-  if (logits.dim() != 2) throw std::invalid_argument("cross_entropy: logits must be [N, C]");
+Tensor cross_entropy(const Tensor& logits_in, const std::vector<std::int64_t>& labels) {
+  if (logits_in.dim() != 2) throw std::invalid_argument("cross_entropy: logits must be [N, C]");
+  const Tensor logits = contiguous(logits_in);
   const std::int64_t n = logits.size(0);
   const std::int64_t c = logits.size(1);
   if (static_cast<std::int64_t>(labels.size()) != n) {
@@ -88,8 +95,8 @@ Tensor cross_entropy(const Tensor& logits, const std::vector<std::int64_t>& labe
     return [l_impl = logits.impl(), labels, n, c,
             softmax_cache = std::move(softmax_cache)](const TensorImpl& o) {
       if (!detail::wants_grad(*l_impl)) return;
-      float* gl = l_impl->grad_buffer().data();
-      const float g = o.grad[0] / static_cast<float>(n);
+      float* gl = l_impl->grad_ptr();
+      const float g = o.grad_ptr()[0] / static_cast<float>(n);
       for (std::int64_t r = 0; r < n; ++r) {
         const float* sm = softmax_cache.data() + r * c;
         float* gr = gl + r * c;

@@ -3,9 +3,85 @@
 #include <stdexcept>
 
 #include "tensor/gemm/gemm.hpp"
+#include "tensor/shape_ops.hpp"
 #include "util/thread_pool.hpp"
 
 namespace saga {
+
+namespace {
+
+// A matmul operand resolved to a dense 2-D storage description the strided
+// GEMM entry can consume directly. Views whose last dimension is unit-stride
+// (row-strided slices, contiguous reshapes) pass through with ld = row
+// stride; views whose second-to-last dimension is unit-stride (transposes)
+// pass through with the effective trans flag flipped — both without copying.
+// Anything else (rare) falls back to one materializing copy.
+struct Operand {
+  Tensor t;                 // resolved tensor; the op's recorded input
+  std::int64_t ld = 0;      // leading dimension of the stored matrix
+  bool trans = false;       // stored -> logical needs a transpose
+  std::int64_t batch_stride = 0;  // storage elements between batches (3-D)
+};
+
+Operand resolve(const Tensor& t, bool requested_trans) {
+  const TensorImpl& impl = *t.impl();
+  const std::size_t rank = impl.shape.size();
+  const std::int64_t rows = impl.shape[rank - 2];
+  const std::int64_t cols = impl.shape[rank - 1];
+  const std::int64_t rs = impl.strides[rank - 2];
+  const std::int64_t cs = impl.strides[rank - 1];
+  const auto bs = [&](const TensorImpl& i) {
+    return rank == 3 ? i.strides[0] : 0;
+  };
+  if (cs == 1 && rs >= cols) {
+    return {t, rs, requested_trans, bs(impl)};
+  }
+  if (rs == 1 && cs >= rows) {
+    // Stored transposed: the buffer holds the logical matrix's transpose.
+    return {t, cs, !requested_trans, bs(impl)};
+  }
+  Tensor c = contiguous(t);
+  return {c, cols, requested_trans, bs(*c.impl())};
+}
+
+// Accumulates the gradients of one batch's stored operand buffers given the
+// effective layout (pa/pb stored matrices with leading dims la/lb and trans
+// flags ta/tb; go is the dense [M,N] output gradient). Derivations mirror
+// the four cases below in storage space: grad-of-stored = grad-of-logical,
+// transposed when the operand is stored transposed.
+void accumulate_operand_grads(const float* go, const float* pa, float* ga,
+                              std::int64_t la, bool ta, const float* pb,
+                              float* gb, std::int64_t lb, bool tb,
+                              std::int64_t m, std::int64_t n, std::int64_t k,
+                              bool parallel) {
+  if (ga != nullptr) {
+    if (!ta) {
+      // Stored A is [M,K]: dA = dC[M,N] x B_logical^T. With B stored [K,N]
+      // (!tb) read transposed; stored [N,K] (tb) read as-is.
+      gemm::gemm(go, n, pb, lb, ga, la, m, k, n, false, !tb, true,
+                 gemm::Kernel::kAuto, parallel);
+    } else {
+      // Stored A is [K,M]: dA_st = B_logical x dC^T (rows K, cols M,
+      // inner N).
+      gemm::gemm(pb, lb, go, n, ga, la, k, m, n, tb, true, true,
+                 gemm::Kernel::kAuto, parallel);
+    }
+  }
+  if (gb != nullptr) {
+    if (!tb) {
+      // Stored B is [K,N]: dB = A_logical^T x dC (rows K, cols N, inner M).
+      gemm::gemm(pa, la, go, n, gb, lb, k, n, m, !ta, false, true,
+                 gemm::Kernel::kAuto, parallel);
+    } else {
+      // Stored B is [N,K]: dB_st = dC^T x A_logical (rows N, cols K,
+      // inner M).
+      gemm::gemm(go, n, pa, la, gb, lb, n, k, m, true, ta, true,
+                 gemm::Kernel::kAuto, parallel);
+    }
+  }
+}
+
+}  // namespace
 
 Tensor matmul(const Tensor& a, const Tensor& b) {
   if (a.dim() != 2 || b.dim() != 2) {
@@ -21,23 +97,26 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
                                 shape_str(a.shape()) + " x " +
                                 shape_str(b.shape()));
   }
+  const Operand oa = resolve(a, false);
+  const Operand ob = resolve(b, false);
   std::vector<float> out(static_cast<std::size_t>(m * n));
-  gemm::gemm(a.data().data(), b.data().data(), out.data(), m, n, k,
-             /*trans_a=*/false, /*trans_b=*/false, /*accumulate=*/false);
+  gemm::gemm(oa.t.impl()->data_ptr(), oa.ld, ob.t.impl()->data_ptr(), ob.ld,
+             out.data(), n, m, n, k, oa.trans, ob.trans,
+             /*accumulate=*/false);
 
-  return detail::make_result({m, n}, std::move(out), {&a, &b}, "matmul", [&] {
-    return [a_impl = a.impl(), b_impl = b.impl(), m, n, k](const TensorImpl& o) {
-      const float* go = o.grad.data();
-      if (detail::wants_grad(*a_impl)) {
-        // dA[M,K] = dC[M,N] x B^T  (B stored [K,N] -> trans_b)
-        gemm::gemm(go, b_impl->data.data(), a_impl->grad_buffer().data(), m,
-                   k, n, false, true, true);
-      }
-      if (detail::wants_grad(*b_impl)) {
-        // dB[K,N] = A^T x dC  (A stored [M,K] -> trans_a)
-        gemm::gemm(a_impl->data.data(), go, b_impl->grad_buffer().data(), k,
-                   n, m, true, false, true);
-      }
+  return detail::make_result(
+      {m, n}, std::move(out), {&oa.t, &ob.t}, "matmul", [&] {
+    return [a_impl = oa.t.impl(), b_impl = ob.t.impl(), la = oa.ld,
+            lb = ob.ld, ta = oa.trans, tb = ob.trans, m, n,
+            k](const TensorImpl& o) {
+      const bool need_a = detail::wants_grad(*a_impl);
+      const bool need_b = detail::wants_grad(*b_impl);
+      if (!need_a && !need_b) return;
+      accumulate_operand_grads(
+          o.grad_ptr(), a_impl->data_ptr(),
+          need_a ? a_impl->grad_ptr() : nullptr, la, ta, b_impl->data_ptr(),
+          need_b ? b_impl->grad_ptr() : nullptr, lb, tb, m, n, k,
+          /*parallel=*/true);
     };
   });
 }
@@ -63,78 +142,43 @@ Tensor bmm(const Tensor& a, const Tensor& b, bool trans_a, bool trans_b) {
                                 shape_str(b.shape()));
   }
   const std::int64_t k = ka;
-  const std::int64_t a_stride = a.size(1) * a.size(2);
-  const std::int64_t b_stride = b.size(1) * b.size(2);
+  const Operand oa = resolve(a, trans_a);
+  const Operand ob = resolve(b, trans_b);
   const std::int64_t c_stride = m * n;
 
   std::vector<float> out(static_cast<std::size_t>(batch * m * n));
-  const float* ad = a.data().data();
-  const float* bd = b.data().data();
+  const float* ad = oa.t.impl()->data_ptr();
+  const float* bd = ob.t.impl()->data_ptr();
   // Parallelism lives at the batch level; each per-batch GEMM runs serially.
   util::parallel_for(0, static_cast<std::size_t>(batch), [&](std::size_t i) {
     const auto bi = static_cast<std::int64_t>(i);
-    gemm::gemm(ad + bi * a_stride, bd + bi * b_stride,
-               out.data() + bi * c_stride, m, n, k, trans_a, trans_b,
-               /*accumulate=*/false, gemm::Kernel::kAuto, /*parallel=*/false);
+    gemm::gemm(ad + bi * oa.batch_stride, oa.ld, bd + bi * ob.batch_stride,
+               ob.ld, out.data() + bi * c_stride, n, m, n, k, oa.trans,
+               ob.trans, /*accumulate=*/false, gemm::Kernel::kAuto,
+               /*parallel=*/false);
   });
 
   return detail::make_result(
-      {batch, m, n}, std::move(out), {&a, &b}, "bmm", [&] {
-    return [a_impl = a.impl(), b_impl = b.impl(), batch, m, n, k, a_stride,
-            b_stride, c_stride, trans_a, trans_b](const TensorImpl& o) {
-        const float* go = o.grad.data();
-        const float* adata = a_impl->data.data();
-        const float* bdata = b_impl->data.data();
+      {batch, m, n}, std::move(out), {&oa.t, &ob.t}, "bmm", [&] {
+    return [a_impl = oa.t.impl(), b_impl = ob.t.impl(), la = oa.ld,
+            lb = ob.ld, ta = oa.trans, tb = ob.trans,
+            as = oa.batch_stride, bs = ob.batch_stride, batch, m, n, k,
+            c_stride](const TensorImpl& o) {
         const bool need_a = detail::wants_grad(*a_impl);
         const bool need_b = detail::wants_grad(*b_impl);
         if (!need_a && !need_b) return;
-        float* ga = need_a ? a_impl->grad_buffer().data() : nullptr;
-        float* gb = need_b ? b_impl->grad_buffer().data() : nullptr;
-        const auto serial_gemm = [](const float* x, const float* y, float* z,
-                                    std::int64_t gm, std::int64_t gn,
-                                    std::int64_t gk, bool tx, bool ty) {
-          gemm::gemm(x, y, z, gm, gn, gk, tx, ty, /*accumulate=*/true,
-                     gemm::Kernel::kAuto, /*parallel=*/false);
-        };
+        const float* go = o.grad_ptr();
+        const float* adata = a_impl->data_ptr();
+        const float* bdata = b_impl->data_ptr();
+        float* ga = need_a ? a_impl->grad_ptr() : nullptr;
+        float* gb = need_b ? b_impl->grad_ptr() : nullptr;
         util::parallel_for(0, static_cast<std::size_t>(batch), [&](std::size_t i) {
           const auto bi = static_cast<std::int64_t>(i);
-          const float* gout = go + bi * c_stride;
-          const float* ab = adata + bi * a_stride;
-          const float* bb = bdata + bi * b_stride;
-          if (need_a) {
-            float* gab = ga + bi * a_stride;
-            if (!trans_a) {
-              // dA[M,K] = dC x B'(T). B' = trans_b ? B : B^T in storage terms:
-              // dA = dC[M,N] x (B')^T ; with B stored [K,N] (!trans_b) we need
-              // trans flag true; with B stored [N,K] (trans_b) flag false.
-              serial_gemm(gout, bb, gab, m, k, n, false, !trans_b);
-            } else {
-              // A stored [K,M]; C[i,j] = sum_p A_st[p,i] B'[p,j]
-              // => dA_st[p,i] = sum_j B'[p,j] dC[i,j].
-              // As a matmul: rows = K (index p), cols = M (index i),
-              // inner = N (index j): dA_st = B' x dC^T.
-              // B' stored: !trans_b -> B_st[K,N] (no trans); trans_b ->
-              // B_st[N,K] (trans).
-              serial_gemm(bb, gout, gab, k, m, n, trans_b, true);
-            }
-          }
-          if (need_b) {
-            float* gbb = gb + bi * b_stride;
-            if (!trans_b) {
-              // B stored [K,N]: dB[p,j] = sum_i A'[i,p] dC[i,j]
-              // = (A')^T x dC: rows K, cols N, inner M.
-              // A' stored: !trans_a -> A_st[M,K], need transpose -> flag true;
-              // trans_a -> A_st[K,M], no transpose -> flag false.
-              serial_gemm(ab, gout, gbb, k, n, m, !trans_a, false);
-            } else {
-              // B stored [N,K]: dB_st[j,p] = sum_i dC[i,j] A'[i,p]
-              // = dC^T x A': rows N, cols K, inner M.
-              // dC stored [M,N] -> transpose (flag true).
-              // A' stored: !trans_a -> A_st[M,K] no transpose; trans_a ->
-              // A_st[K,M] -> transpose.
-              serial_gemm(gout, ab, gbb, n, k, m, true, trans_a);
-            }
-          }
+          accumulate_operand_grads(
+              go + bi * c_stride, adata + bi * as,
+              ga != nullptr ? ga + bi * as : nullptr, la, ta, bdata + bi * bs,
+              gb != nullptr ? gb + bi * bs : nullptr, lb, tb, m, n, k,
+              /*parallel=*/false);
         });
     };
   });

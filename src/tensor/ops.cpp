@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "tensor/eltwise/eltwise.hpp"
+#include "tensor/shape_ops.hpp"
 
 namespace saga {
 
@@ -56,8 +57,12 @@ void for_each_broadcast(const Shape& out_shape, const Shape& a_shape,
 //   static float fwd(float a, float b);
 //   static float dfda(float a, float b, float g);   // dL/da contribution
 //   static float dfdb(float a, float b, float g);   // dL/db contribution
+// View inputs are contiguized on entry; gradients written into the
+// contiguized tensors scatter back through their views' nodes.
 template <typename Policy>
-Tensor binary_op(const Tensor& a, const Tensor& b, const char* name) {
+Tensor binary_op(const Tensor& a_in, const Tensor& b_in, const char* name) {
+  const Tensor a = contiguous(a_in);
+  const Tensor b = contiguous(b_in);
   const Shape out_shape = broadcast_shapes(a.shape(), b.shape());
   std::vector<float> out(static_cast<std::size_t>(numel_of(out_shape)));
   const auto av = a.data();
@@ -80,13 +85,13 @@ Tensor binary_op(const Tensor& a, const Tensor& b, const char* name) {
         const bool need_a = detail::wants_grad(*a_impl);
         const bool need_b = detail::wants_grad(*b_impl);
         if (!need_a && !need_b) return;
-        float* ga = need_a ? a_impl->grad_buffer().data() : nullptr;
-        float* gb = need_b ? b_impl->grad_buffer().data() : nullptr;
-        const float* ad = a_impl->data.data();
-        const float* bd = b_impl->data.data();
-        const float* go = o.grad.data();
+        float* ga = need_a ? a_impl->grad_ptr() : nullptr;
+        float* gb = need_b ? b_impl->grad_ptr() : nullptr;
+        const float* ad = a_impl->data_ptr();
+        const float* bd = b_impl->data_ptr();
+        const float* go = o.grad_ptr();
         if (a_shape == b_shape) {
-          const std::size_t n = o.data.size();
+          const auto n = static_cast<std::size_t>(o.numel());
           for (std::size_t i = 0; i < n; ++i) {
             if (ga != nullptr) ga[i] += Policy::dfda(ad[i], bd[i], go[i]);
             if (gb != nullptr) gb[i] += Policy::dfdb(ad[i], bd[i], go[i]);
@@ -128,18 +133,19 @@ struct DivPolicy {
 //   static float fwd(float x);
 //   static float grad(float x, float y, float g);  // y = fwd(x)
 template <typename Policy>
-Tensor unary_op(const Tensor& a, const char* name) {
+Tensor unary_op(const Tensor& a_in, const char* name) {
+  const Tensor a = contiguous(a_in);
   const auto av = a.data();
   std::vector<float> out(av.size());
   for (std::size_t i = 0; i < out.size(); ++i) out[i] = Policy::fwd(av[i]);
   return detail::make_result(a.shape(), std::move(out), {&a}, name, [&] {
     return [a_impl = a.impl()](const TensorImpl& o) {
       if (!detail::wants_grad(*a_impl)) return;
-      float* ga = a_impl->grad_buffer().data();
-      const float* ad = a_impl->data.data();
-      const float* od = o.data.data();
-      const float* go = o.grad.data();
-      const std::size_t n = o.data.size();
+      float* ga = a_impl->grad_ptr();
+      const float* ad = a_impl->data_ptr();
+      const float* od = o.data_ptr();
+      const float* go = o.grad_ptr();
+      const auto n = static_cast<std::size_t>(o.numel());
       for (std::size_t i = 0; i < n; ++i) {
         ga[i] += Policy::grad(ad[i], od[i], go[i]);
       }
@@ -198,37 +204,42 @@ Tensor square(const Tensor& a) { return unary_op<SquarePolicy>(a, "square"); }
 Tensor sqrt_op(const Tensor& a) { return unary_op<SqrtPolicy>(a, "sqrt"); }
 Tensor neg(const Tensor& a) { return unary_op<NegPolicy>(a, "neg"); }
 
-Tensor scale(const Tensor& a, float factor) {
+Tensor scale(const Tensor& a_in, float factor) {
+  const Tensor a = contiguous(a_in);
   const auto av = a.data();
   std::vector<float> out(av.size());
   for (std::size_t i = 0; i < out.size(); ++i) out[i] = av[i] * factor;
   return detail::make_result(a.shape(), std::move(out), {&a}, "scale", [&] {
     return [a_impl = a.impl(), factor](const TensorImpl& o) {
       if (!detail::wants_grad(*a_impl)) return;
-      float* ga = a_impl->grad_buffer().data();
-      const float* go = o.grad.data();
-      for (std::size_t i = 0; i < o.data.size(); ++i) ga[i] += go[i] * factor;
+      float* ga = a_impl->grad_ptr();
+      const float* go = o.grad_ptr();
+      const auto n = static_cast<std::size_t>(o.numel());
+      for (std::size_t i = 0; i < n; ++i) ga[i] += go[i] * factor;
     };
   });
 }
 
-Tensor add_scalar(const Tensor& a, float value) {
+Tensor add_scalar(const Tensor& a_in, float value) {
+  const Tensor a = contiguous(a_in);
   const auto av = a.data();
   std::vector<float> out(av.size());
   for (std::size_t i = 0; i < out.size(); ++i) out[i] = av[i] + value;
   return detail::make_result(a.shape(), std::move(out), {&a}, "add_scalar", [&] {
     return [a_impl = a.impl()](const TensorImpl& o) {
       if (!detail::wants_grad(*a_impl)) return;
-      float* ga = a_impl->grad_buffer().data();
-      const float* go = o.grad.data();
-      for (std::size_t i = 0; i < o.data.size(); ++i) ga[i] += go[i];
+      float* ga = a_impl->grad_ptr();
+      const float* go = o.grad_ptr();
+      const auto n = static_cast<std::size_t>(o.numel());
+      for (std::size_t i = 0; i < n; ++i) ga[i] += go[i];
     };
   });
 }
 
-Tensor dropout(const Tensor& a, double p, bool training, util::Rng& rng) {
-  if (!training || p <= 0.0) return a;
+Tensor dropout(const Tensor& a_in, double p, bool training, util::Rng& rng) {
+  if (!training || p <= 0.0) return a_in;
   if (p >= 1.0) throw std::invalid_argument("dropout: p must be < 1");
+  const Tensor a = contiguous(a_in);
   const float keep_scale = static_cast<float>(1.0 / (1.0 - p));
   const auto drop_p = static_cast<float>(p);
   const auto av = a.data();
@@ -244,9 +255,10 @@ Tensor dropout(const Tensor& a, double p, bool training, util::Rng& rng) {
   return detail::make_result(a.shape(), std::move(out), {&a}, "dropout", [&] {
     return [a_impl = a.impl(), mask = std::move(mask)](const TensorImpl& o) {
       if (!detail::wants_grad(*a_impl)) return;
-      float* ga = a_impl->grad_buffer().data();
-      const float* go = o.grad.data();
-      for (std::size_t i = 0; i < o.data.size(); ++i) ga[i] += go[i] * mask[i];
+      float* ga = a_impl->grad_ptr();
+      const float* go = o.grad_ptr();
+      const auto n = static_cast<std::size_t>(o.numel());
+      for (std::size_t i = 0; i < n; ++i) ga[i] += go[i] * mask[i];
     };
   });
 }

@@ -3,22 +3,27 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "tensor/shape_ops.hpp"
+
 namespace saga {
 
-Tensor sum(const Tensor& a) {
+Tensor sum(const Tensor& a_in) {
+  const Tensor a = contiguous(a_in);
   double acc = 0.0;
   for (const float v : a.data()) acc += v;
   return detail::make_result({1}, {static_cast<float>(acc)}, {&a}, "sum", [&] {
     return [a_impl = a.impl()](const TensorImpl& o) {
       if (!detail::wants_grad(*a_impl)) return;
-      float* ga = a_impl->grad_buffer().data();
-      const float g = o.grad[0];
-      for (std::size_t i = 0; i < a_impl->data.size(); ++i) ga[i] += g;
+      float* ga = a_impl->grad_ptr();
+      const float g = o.grad_ptr()[0];
+      const auto n = static_cast<std::size_t>(a_impl->numel());
+      for (std::size_t i = 0; i < n; ++i) ga[i] += g;
     };
   });
 }
 
-Tensor mean(const Tensor& a) {
+Tensor mean(const Tensor& a_in) {
+  const Tensor a = contiguous(a_in);
   const auto n = static_cast<double>(a.numel());
   double acc = 0.0;
   for (const float v : a.data()) acc += v;
@@ -26,14 +31,16 @@ Tensor mean(const Tensor& a) {
                              [&] {
                                return [a_impl = a.impl(), n](const TensorImpl& o) {
                                  if (!detail::wants_grad(*a_impl)) return;
-                                 float* ga = a_impl->grad_buffer().data();
-                                 const float g = static_cast<float>(o.grad[0] / n);
-                                 for (std::size_t i = 0; i < a_impl->data.size(); ++i) ga[i] += g;
+                                 float* ga = a_impl->grad_ptr();
+                                 const float g = static_cast<float>(o.grad_ptr()[0] / n);
+                                 const auto count = static_cast<std::size_t>(a_impl->numel());
+                                 for (std::size_t i = 0; i < count; ++i) ga[i] += g;
                                };
                              });
 }
 
-Tensor softmax_lastdim(const Tensor& a) {
+Tensor softmax_lastdim(const Tensor& a_in) {
+  const Tensor a = contiguous(a_in);
   const std::int64_t cols = a.size(-1);
   const std::int64_t rows = a.numel() / cols;
   std::vector<float> out(static_cast<std::size_t>(a.numel()));
@@ -54,9 +61,9 @@ Tensor softmax_lastdim(const Tensor& a) {
   return detail::make_result(a.shape(), std::move(out), {&a}, "softmax", [&] {
     return [a_impl = a.impl(), rows, cols](const TensorImpl& o) {
         if (!detail::wants_grad(*a_impl)) return;
-        float* ga = a_impl->grad_buffer().data();
-        const float* y = o.data.data();
-        const float* go = o.grad.data();
+        float* ga = a_impl->grad_ptr();
+        const float* y = o.data_ptr();
+        const float* go = o.grad_ptr();
         for (std::int64_t r = 0; r < rows; ++r) {
           const float* yr = y + r * cols;
           const float* gr = go + r * cols;
@@ -71,7 +78,8 @@ Tensor softmax_lastdim(const Tensor& a) {
   });
 }
 
-Tensor log_softmax_lastdim(const Tensor& a) {
+Tensor log_softmax_lastdim(const Tensor& a_in) {
+  const Tensor a = contiguous(a_in);
   const std::int64_t cols = a.size(-1);
   const std::int64_t rows = a.numel() / cols;
   std::vector<float> out(static_cast<std::size_t>(a.numel()));
@@ -89,9 +97,9 @@ Tensor log_softmax_lastdim(const Tensor& a) {
   return detail::make_result(a.shape(), std::move(out), {&a}, "log_softmax", [&] {
     return [a_impl = a.impl(), rows, cols](const TensorImpl& o) {
         if (!detail::wants_grad(*a_impl)) return;
-        float* ga = a_impl->grad_buffer().data();
-        const float* y = o.data.data();
-        const float* go = o.grad.data();
+        float* ga = a_impl->grad_ptr();
+        const float* y = o.data_ptr();
+        const float* go = o.grad_ptr();
         for (std::int64_t r = 0; r < rows; ++r) {
           const float* yr = y + r * cols;
           const float* gr = go + r * cols;
@@ -106,8 +114,11 @@ Tensor log_softmax_lastdim(const Tensor& a) {
   });
 }
 
-Tensor layer_norm_lastdim(const Tensor& x, const Tensor& gamma,
-                          const Tensor& beta, float eps) {
+Tensor layer_norm_lastdim(const Tensor& x_in, const Tensor& gamma_in,
+                          const Tensor& beta_in, float eps) {
+  const Tensor x = contiguous(x_in);
+  const Tensor gamma = contiguous(gamma_in);
+  const Tensor beta = contiguous(beta_in);
   const std::int64_t cols = x.size(-1);
   const std::int64_t rows = x.numel() / cols;
   if (gamma.numel() != cols || beta.numel() != cols) {
@@ -157,14 +168,14 @@ Tensor layer_norm_lastdim(const Tensor& x, const Tensor& gamma,
     return [x_impl = x.impl(), g_impl = gamma.impl(), b_impl = beta.impl(),
             rows, cols, xhat = std::move(xhat),
             inv_std = std::move(inv_std)](const TensorImpl& o) {
-        const float* go = o.grad.data();
-        const float* gamma_d = g_impl->data.data();
+        const float* go = o.grad_ptr();
+        const float* gamma_d = g_impl->data_ptr();
         const bool need_x = detail::wants_grad(*x_impl);
         const bool need_g = detail::wants_grad(*g_impl);
         const bool need_b = detail::wants_grad(*b_impl);
-        float* gx = need_x ? x_impl->grad_buffer().data() : nullptr;
-        float* gg = need_g ? g_impl->grad_buffer().data() : nullptr;
-        float* gb = need_b ? b_impl->grad_buffer().data() : nullptr;
+        float* gx = need_x ? x_impl->grad_ptr() : nullptr;
+        float* gg = need_g ? g_impl->grad_ptr() : nullptr;
+        float* gb = need_b ? b_impl->grad_ptr() : nullptr;
         for (std::int64_t r = 0; r < rows; ++r) {
           const float* gr = go + r * cols;
           const float* xh = xhat.data() + r * cols;
@@ -198,8 +209,9 @@ Tensor layer_norm_lastdim(const Tensor& x, const Tensor& gamma,
   });
 }
 
-Tensor mean_over_time(const Tensor& x) {
-  if (x.dim() != 3) throw std::invalid_argument("mean_over_time: expects [B,T,D]");
+Tensor mean_over_time(const Tensor& x_in) {
+  if (x_in.dim() != 3) throw std::invalid_argument("mean_over_time: expects [B,T,D]");
+  const Tensor x = contiguous(x_in);
   const std::int64_t b = x.size(0);
   const std::int64_t t = x.size(1);
   const std::int64_t d = x.size(2);
@@ -218,8 +230,8 @@ Tensor mean_over_time(const Tensor& x) {
   return detail::make_result({b, d}, std::move(out), {&x}, "mean_over_time", [&] {
     return [x_impl = x.impl(), b, t, d, inv](const TensorImpl& o) {
       if (!detail::wants_grad(*x_impl)) return;
-      float* gx = x_impl->grad_buffer().data();
-      const float* go = o.grad.data();
+      float* gx = x_impl->grad_ptr();
+      const float* go = o.grad_ptr();
       for (std::int64_t i = 0; i < b; ++i) {
         const float* grow = go + i * d;
         for (std::int64_t s = 0; s < t; ++s) {
@@ -231,7 +243,8 @@ Tensor mean_over_time(const Tensor& x) {
   });
 }
 
-std::vector<std::int64_t> argmax_lastdim(const Tensor& a) {
+std::vector<std::int64_t> argmax_lastdim(const Tensor& a_in) {
+  const Tensor a = contiguous(a_in);
   const std::int64_t cols = a.size(-1);
   const std::int64_t rows = a.numel() / cols;
   std::vector<std::int64_t> out(static_cast<std::size_t>(rows));

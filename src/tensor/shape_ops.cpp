@@ -13,27 +13,46 @@ std::int64_t normalize_dim(std::int64_t dim, std::int64_t rank) {
   return dim;
 }
 
-// Copies the [start, start+length) range of `dim` from src (shape src_shape)
-// into dst laid out with that dim shrunk to `length`. When `scatter` is true
-// the direction is reversed (dst accumulates into src-range positions).
-struct SliceGeometry {
-  std::int64_t outer;   // product of dims before `dim`
-  std::int64_t mid_src; // src extent of `dim`
-  std::int64_t mid_dst; // dst extent of `dim`
-  std::int64_t inner;   // product of dims after `dim`
-};
-
-SliceGeometry slice_geometry(const Shape& src_shape, std::int64_t dim,
-                             std::int64_t length) {
-  SliceGeometry g{1, src_shape[static_cast<std::size_t>(dim)], length, 1};
-  for (std::int64_t d = 0; d < dim; ++d) g.outer *= src_shape[static_cast<std::size_t>(d)];
-  for (std::size_t d = static_cast<std::size_t>(dim) + 1; d < src_shape.size(); ++d) {
-    g.inner *= src_shape[d];
+// Erases dimension `dim` from a (shape, strides) pair; a rank-0 result
+// collapses to the scalar geometry {1}/{1}.
+void erase_dim(Shape& shape, std::vector<std::int64_t>& strides,
+               std::int64_t dim) {
+  shape.erase(shape.begin() + static_cast<std::ptrdiff_t>(dim));
+  strides.erase(strides.begin() + static_cast<std::ptrdiff_t>(dim));
+  if (shape.empty()) {
+    shape = {1};
+    strides = {1};
   }
-  return g;
 }
 
 }  // namespace
+
+Tensor contiguous(const Tensor& a) {
+  if (a.is_contiguous()) return a;
+  const TensorImpl& impl = *a.impl();
+  detail::note_materializing_copy();
+  std::vector<float> out(static_cast<std::size_t>(impl.numel()));
+  const float* src = impl.storage->data.data();
+  detail::for_each_element(impl.shape, impl.strides, impl.offset,
+                           [&](std::int64_t flat, std::int64_t si) {
+                             out[static_cast<std::size_t>(flat)] =
+                                 src[static_cast<std::size_t>(si)];
+                           });
+  return detail::make_result(impl.shape, std::move(out), {&a}, "contiguous",
+                             [&] {
+    return [a_impl = a.impl()](const TensorImpl& o) {
+      if (!detail::wants_grad(*a_impl)) return;
+      // Scatter through the view's strides into its (storage-level) grad.
+      float* ga = a_impl->grad_buffer().data();
+      const float* go = o.grad_ptr();
+      detail::for_each_element(a_impl->shape, a_impl->strides, a_impl->offset,
+                               [&](std::int64_t flat, std::int64_t si) {
+                                 ga[static_cast<std::size_t>(si)] +=
+                                     go[static_cast<std::size_t>(flat)];
+                               });
+    };
+  });
+}
 
 Tensor reshape(const Tensor& a, Shape new_shape) {
   std::int64_t known = 1;
@@ -57,16 +76,12 @@ Tensor reshape(const Tensor& a, Shape new_shape) {
                                 shape_str(a.shape()) + " -> " +
                                 shape_str(new_shape));
   }
-  std::vector<float> out(a.data().begin(), a.data().end());
-  return detail::make_result(
-      std::move(new_shape), std::move(out), {&a}, "reshape", [&] {
-    return [a_impl = a.impl()](const TensorImpl& o) {
-      if (!detail::wants_grad(*a_impl)) return;
-      float* ga = a_impl->grad_buffer().data();
-      const float* go = o.grad.data();
-      for (std::size_t i = 0; i < o.data.size(); ++i) ga[i] += go[i];
-    };
-  });
+  // Contiguous input: free aliasing view. Otherwise materialize once and
+  // view the copy (the general strided case has no stride relabeling).
+  const Tensor base = a.is_contiguous() ? a : contiguous(a);
+  std::vector<std::int64_t> strides = strides_of(new_shape);
+  return detail::make_view(base, std::move(new_shape), std::move(strides),
+                           base.impl()->offset, "reshape");
 }
 
 Tensor slice(const Tensor& a, std::int64_t dim, std::int64_t start,
@@ -79,43 +94,72 @@ Tensor slice(const Tensor& a, std::int64_t dim, std::int64_t start,
                             std::to_string(start + length) + ") out of dim " +
                             std::to_string(extent));
   }
-  Shape out_shape = a.shape();
+  const TensorImpl& impl = *a.impl();
+  Shape out_shape = impl.shape;
   out_shape[static_cast<std::size_t>(dim)] = length;
-  const SliceGeometry g = slice_geometry(a.shape(), dim, length);
-
-  std::vector<float> out(static_cast<std::size_t>(numel_of(out_shape)));
-  const float* src = a.data().data();
-  for (std::int64_t o = 0; o < g.outer; ++o) {
-    const float* src_block = src + (o * g.mid_src + start) * g.inner;
-    float* dst_block = out.data() + o * g.mid_dst * g.inner;
-    std::memcpy(dst_block, src_block,
-                static_cast<std::size_t>(g.mid_dst * g.inner) * sizeof(float));
-  }
-
-  return detail::make_result(
-      std::move(out_shape), std::move(out), {&a}, "slice", [&] {
-    return [a_impl = a.impl(), g, start](const TensorImpl& o) {
-      if (!detail::wants_grad(*a_impl)) return;
-      float* ga = a_impl->grad_buffer().data();
-      const float* go = o.grad.data();
-      for (std::int64_t ob = 0; ob < g.outer; ++ob) {
-        float* dst_block = ga + (ob * g.mid_src + start) * g.inner;
-        const float* src_block = go + ob * g.mid_dst * g.inner;
-        const std::int64_t count = g.mid_dst * g.inner;
-        for (std::int64_t i = 0; i < count; ++i) dst_block[i] += src_block[i];
-      }
-    };
-  });
+  return detail::make_view(
+      a, std::move(out_shape), impl.strides,
+      impl.offset + start * impl.strides[static_cast<std::size_t>(dim)],
+      "slice");
 }
 
 Tensor select(const Tensor& a, std::int64_t dim, std::int64_t index) {
   const std::int64_t rank = a.dim();
   dim = normalize_dim(dim, rank);
   Tensor sliced = slice(a, dim, index, 1);
-  Shape squeezed = sliced.shape();
-  squeezed.erase(squeezed.begin() + static_cast<std::ptrdiff_t>(dim));
-  if (squeezed.empty()) squeezed = {1};
-  return reshape(sliced, std::move(squeezed));
+  Shape shape = sliced.shape();
+  std::vector<std::int64_t> strides = sliced.impl()->strides;
+  erase_dim(shape, strides, dim);
+  return detail::make_view(sliced, std::move(shape), std::move(strides),
+                           sliced.impl()->offset, "select");
+}
+
+Tensor squeeze(const Tensor& a, std::int64_t dim) {
+  const std::int64_t rank = a.dim();
+  dim = normalize_dim(dim, rank);
+  if (a.size(dim) != 1) {
+    throw std::invalid_argument("squeeze: dim " + std::to_string(dim) +
+                                " has extent " + std::to_string(a.size(dim)));
+  }
+  Shape shape = a.shape();
+  std::vector<std::int64_t> strides = a.impl()->strides;
+  erase_dim(shape, strides, dim);
+  return detail::make_view(a, std::move(shape), std::move(strides),
+                           a.impl()->offset, "squeeze");
+}
+
+Tensor squeeze(const Tensor& a) {
+  Shape shape;
+  std::vector<std::int64_t> strides;
+  for (std::size_t d = 0; d < a.shape().size(); ++d) {
+    if (a.shape()[d] != 1) {
+      shape.push_back(a.shape()[d]);
+      strides.push_back(a.impl()->strides[d]);
+    }
+  }
+  if (shape.empty()) {
+    shape = {1};
+    strides = {1};
+  }
+  return detail::make_view(a, std::move(shape), std::move(strides),
+                           a.impl()->offset, "squeeze");
+}
+
+Tensor unsqueeze(const Tensor& a, std::int64_t dim) {
+  const std::int64_t rank = a.dim();
+  if (dim < 0) dim += rank + 1;
+  if (dim < 0 || dim > rank) throw std::out_of_range("bad dim");
+  Shape shape = a.shape();
+  std::vector<std::int64_t> strides = a.impl()->strides;
+  // Stride of a size-1 dim never advances; pick the conventional value.
+  const std::int64_t stride =
+      dim == rank ? 1
+                  : shape[static_cast<std::size_t>(dim)] *
+                        strides[static_cast<std::size_t>(dim)];
+  shape.insert(shape.begin() + static_cast<std::ptrdiff_t>(dim), 1);
+  strides.insert(strides.begin() + static_cast<std::ptrdiff_t>(dim), stride);
+  return detail::make_view(a, std::move(shape), std::move(strides),
+                           a.impl()->offset, "unsqueeze");
 }
 
 Tensor concat(const std::vector<Tensor>& tensors, std::int64_t dim) {
@@ -135,6 +179,13 @@ Tensor concat(const std::vector<Tensor>& tensors, std::int64_t dim) {
   }
   out_shape[static_cast<std::size_t>(dim)] = total;
 
+  // Concat inherently copies; contiguize view inputs so the row sweeps below
+  // are valid (identity for contiguous inputs). The contiguized tensors are
+  // captured as the op inputs so gradients route back through their views.
+  std::vector<Tensor> srcs;
+  srcs.reserve(tensors.size());
+  for (const auto& t : tensors) srcs.push_back(contiguous(t));
+
   std::int64_t outer = 1;
   for (std::int64_t d = 0; d < dim; ++d) outer *= out_shape[static_cast<std::size_t>(d)];
   std::int64_t inner = 1;
@@ -144,13 +195,13 @@ Tensor concat(const std::vector<Tensor>& tensors, std::int64_t dim) {
 
   std::vector<float> out(static_cast<std::size_t>(numel_of(out_shape)));
   std::vector<std::int64_t> offsets;  // running offset of each input in `dim`
-  offsets.reserve(tensors.size());
+  offsets.reserve(srcs.size());
   {
     std::int64_t off = 0;
-    for (const auto& t : tensors) {
+    for (const auto& t : srcs) {
       offsets.push_back(off);
       const std::int64_t mid = t.size(dim);
-      const float* src = t.data().data();
+      const float* src = t.impl()->data_ptr();
       for (std::int64_t o = 0; o < outer; ++o) {
         std::memcpy(out.data() + (o * total + off) * inner,
                     src + o * mid * inner,
@@ -161,21 +212,21 @@ Tensor concat(const std::vector<Tensor>& tensors, std::int64_t dim) {
   }
 
   return detail::make_result(
-      std::move(out_shape), std::move(out), tensors, "concat", [&] {
+      std::move(out_shape), std::move(out), srcs, "concat", [&] {
     std::vector<std::shared_ptr<TensorImpl>> impls;
     std::vector<std::int64_t> mids;
-    impls.reserve(tensors.size());
-    mids.reserve(tensors.size());
-    for (const auto& t : tensors) {
+    impls.reserve(srcs.size());
+    mids.reserve(srcs.size());
+    for (const auto& t : srcs) {
       impls.push_back(t.impl());
       mids.push_back(t.size(dim));
     }
     return [impls = std::move(impls), mids = std::move(mids), offsets, outer,
             inner, total](const TensorImpl& o) {
-      const float* go = o.grad.data();
+      const float* go = o.grad_ptr();
       for (std::size_t idx = 0; idx < impls.size(); ++idx) {
         if (!detail::wants_grad(*impls[idx])) continue;
-        float* g = impls[idx]->grad_buffer().data();
+        float* g = impls[idx]->grad_ptr();
         const std::int64_t mid = mids[idx];
         const std::int64_t off = offsets[idx];
         for (std::int64_t ob = 0; ob < outer; ++ob) {
@@ -191,40 +242,14 @@ Tensor concat(const std::vector<Tensor>& tensors, std::int64_t dim) {
 Tensor transpose_last2(const Tensor& a) {
   const std::int64_t rank = a.dim();
   if (rank < 2) throw std::invalid_argument("transpose_last2: rank < 2");
-  Shape out_shape = a.shape();
-  std::swap(out_shape[static_cast<std::size_t>(rank - 1)],
-            out_shape[static_cast<std::size_t>(rank - 2)]);
-  const std::int64_t rows = a.size(rank - 2);
-  const std::int64_t cols = a.size(rank - 1);
-  const std::int64_t batch = a.numel() / (rows * cols);
-
-  std::vector<float> out(static_cast<std::size_t>(a.numel()));
-  const float* src = a.data().data();
-  for (std::int64_t b = 0; b < batch; ++b) {
-    const float* sb = src + b * rows * cols;
-    float* db = out.data() + b * rows * cols;
-    for (std::int64_t r = 0; r < rows; ++r) {
-      for (std::int64_t c = 0; c < cols; ++c) db[c * rows + r] = sb[r * cols + c];
-    }
-  }
-
-  return detail::make_result(
-      std::move(out_shape), std::move(out), {&a}, "transpose_last2", [&] {
-    return [a_impl = a.impl(), batch, rows, cols](const TensorImpl& o) {
-      if (!detail::wants_grad(*a_impl)) return;
-      float* ga = a_impl->grad_buffer().data();
-      const float* go = o.grad.data();
-      for (std::int64_t b = 0; b < batch; ++b) {
-        const float* gb = go + b * rows * cols;
-        float* ab = ga + b * rows * cols;
-        for (std::int64_t r = 0; r < rows; ++r) {
-          for (std::int64_t c = 0; c < cols; ++c) {
-            ab[r * cols + c] += gb[c * rows + r];
-          }
-        }
-      }
-    };
-  });
+  Shape shape = a.shape();
+  std::vector<std::int64_t> strides = a.impl()->strides;
+  std::swap(shape[static_cast<std::size_t>(rank - 1)],
+            shape[static_cast<std::size_t>(rank - 2)]);
+  std::swap(strides[static_cast<std::size_t>(rank - 1)],
+            strides[static_cast<std::size_t>(rank - 2)]);
+  return detail::make_view(a, std::move(shape), std::move(strides),
+                           a.impl()->offset, "transpose_last2");
 }
 
 Tensor stack(const std::vector<Tensor>& tensors) {

@@ -1,5 +1,11 @@
 // Shape-manipulation operations (autograd-aware): reshape, slice, select,
-// concat, transpose of the trailing two dimensions.
+// squeeze/unsqueeze, concat, transpose of the trailing two dimensions.
+//
+// Most ops here are *views*: they alias the input's Storage (new shape /
+// strides / offset, zero data movement). Gradients written through a view
+// land directly in the base buffer because grad storage is shared; the view
+// op only records a connectivity edge on the tape. `contiguous()` is the one
+// op that materializes, and `concat`/`stack` inherently copy.
 #pragma once
 
 #include <vector>
@@ -8,21 +14,39 @@
 
 namespace saga {
 
-/// Returns a tensor with the same data in a new shape (copies; gradients are
-/// reshaped back). One dimension may be -1 and is inferred.
+/// Materializes a dense row-major copy of `a`. Identity (returns the same
+/// tensor, no copy) when `a` is already contiguous; otherwise gathers
+/// through the view's strides and counts one materializing copy
+/// (detail::materializing_copies()). Gradients scatter back through the
+/// strides into the view's storage.
+Tensor contiguous(const Tensor& a);
+
+/// Returns a tensor with the same elements in a new shape. Aliasing view
+/// when `a` is contiguous; falls back to contiguous() + view otherwise.
+/// One dimension may be -1 and is inferred.
 Tensor reshape(const Tensor& a, Shape new_shape);
 
-/// Slice along `dim`: keeps indices [start, start+length).
+/// Slice along `dim`: keeps indices [start, start+length). Always a view.
 Tensor slice(const Tensor& a, std::int64_t dim, std::int64_t start,
              std::int64_t length);
 
 /// Removes dimension `dim` by picking `index`; output rank is rank-1.
+/// A view (slice + squeeze), even when the result is non-contiguous.
 Tensor select(const Tensor& a, std::int64_t dim, std::int64_t index);
 
-/// Concatenates tensors along `dim`; all other dims must match.
+/// Removes size-1 dimension `dim` (view).
+Tensor squeeze(const Tensor& a, std::int64_t dim);
+/// Removes every size-1 dimension (view).
+Tensor squeeze(const Tensor& a);
+/// Inserts a size-1 dimension at `dim` (view); `dim` may equal rank().
+Tensor unsqueeze(const Tensor& a, std::int64_t dim);
+
+/// Concatenates tensors along `dim`; all other dims must match. Copies
+/// (inputs are contiguized first).
 Tensor concat(const std::vector<Tensor>& tensors, std::int64_t dim);
 
-/// Swaps the last two dimensions (rank >= 2).
+/// Swaps the last two dimensions (rank >= 2). Always a view (the result is
+/// non-contiguous unless one of the two dims has extent 1).
 Tensor transpose_last2(const Tensor& a);
 
 /// Stacks rank-(r) tensors into a rank-(r+1) tensor along a new leading dim.

@@ -14,6 +14,7 @@
 #include "tensor/grad_mode.hpp"
 #include "tensor/ops.hpp"
 #include "tensor/reduce.hpp"
+#include "tensor/shape_ops.hpp"
 #include "util/rng.hpp"
 
 namespace {
@@ -329,6 +330,43 @@ TEST(Eltwise, ConstantInputsSkipTape) {
   const Tensor y = eltwise::bias_gelu(x, bias);
   EXPECT_EQ(detail::autograd_nodes_created(), before);
   EXPECT_FALSE(y.requires_grad());
+}
+
+// Non-contiguous view inputs (sliced, transposed, strided-select) are
+// materialized once at op entry: results must be bit-identical to runs on
+// pre-copied contiguous operands, under every dispatchable kernel.
+TEST(Eltwise, ViewInputsMatchPrecopiedContiguous) {
+  for (const auto kernel : eltwise::available_kernels()) {
+    SCOPED_TRACE(eltwise::kernel_name(kernel));
+    const eltwise::ForceKernelGuard guard(kernel);
+    util::Rng rng(21);
+    Tensor base = Tensor::randn({4, 9, 6}, rng);
+    Tensor r_base = Tensor::randn({4, 6, 5}, rng);
+    Tensor bias_base = Tensor::randn({6, 3}, rng);
+    const Tensor x_view = slice(base, 1, 2, 5);        // [4, 5, 6], mid-dim
+    const Tensor r_view = transpose_last2(r_base);     // [4, 5, 6]
+    const Tensor bias_view = select(bias_base, 1, 1);  // [6] with stride 3
+    ASSERT_FALSE(x_view.is_contiguous());
+    ASSERT_FALSE(r_view.is_contiguous());
+    ASSERT_FALSE(bias_view.is_contiguous());
+    const Tensor x_pre = x_view.clone();
+    const Tensor r_pre = r_view.clone();
+    const Tensor bias_pre = bias_view.clone();
+    Tensor gamma = Tensor::rand_uniform({6}, rng, 0.5F, 1.5F);
+    Tensor beta = Tensor::randn({6}, rng);
+
+    expect_bitwise_equal(eltwise::bias_add(x_view, bias_view),
+                         eltwise::bias_add(x_pre, bias_pre), "bias_add");
+    expect_bitwise_equal(eltwise::bias_gelu(x_view, bias_view),
+                         eltwise::bias_gelu(x_pre, bias_pre), "bias_gelu");
+    expect_bitwise_equal(
+        eltwise::residual_layer_norm(x_view, r_view, gamma, beta),
+        eltwise::residual_layer_norm(x_pre, r_pre, gamma, beta),
+        "residual_layer_norm");
+    expect_bitwise_equal(eltwise::scale_add(x_view, bias_view, 0.5F),
+                         eltwise::scale_add(x_pre, bias_pre, 0.5F),
+                         "scale_add");
+  }
 }
 
 // The consumer seam: Linear's fused GELU epilogue equals Linear then GELU.

@@ -12,6 +12,10 @@
 #include <vector>
 
 #include "tensor/gemm/gemm.hpp"
+#include "tensor/matmul.hpp"
+#include "tensor/ops.hpp"
+#include "tensor/reduce.hpp"
+#include "tensor/shape_ops.hpp"
 #include "util/rng.hpp"
 
 namespace saga {
@@ -248,6 +252,107 @@ TEST(GemmKernels, AccumulateAddsIntoC) {
                /*accumulate=*/true, kernel);
     EXPECT_NEAR(c[0], 10.0F + 11.0F, 1e-5F)
         << "kernel=" << gemm::kernel_name(kernel);
+  }
+}
+
+// Tensor-level seam: matmul consumes last-dim-sliced (ld > cols) and
+// transposed (stored-transposed, flipped trans flag) views directly, with no
+// materializing copy. Forward results and scattered gradients must be
+// bit-identical to a run on pre-copied contiguous operands — the packed
+// kernels normalize operand layout before the arithmetic, and the direct
+// path sums every output element over k in the same order for all trans
+// combos. (The test_gemm_kernels_forced_scalar ctest entry re-runs this
+// against the scalar kernels.)
+TEST(GemmKernels, MatmulViewOperandsMatchPrecopied) {
+  util::Rng rng(50);
+  Tensor big = Tensor::randn({9, 31}, rng, 1.0F, true);
+  Tensor bt = Tensor::randn({11, 7}, rng, 1.0F, true);  // stores B transposed
+  const Tensor a_view = slice(big, 1, 3, 7);      // [9, 7] with ld 31
+  const Tensor b_view = transpose_last2(bt);      // [7, 11] stored-transposed
+  ASSERT_FALSE(a_view.is_contiguous());
+  ASSERT_FALSE(b_view.is_contiguous());
+  Tensor a_pre = a_view.clone().set_requires_grad(true);
+  Tensor b_pre = b_view.clone().set_requires_grad(true);
+
+  const std::uint64_t copies = detail::materializing_copies();
+  const Tensor out_view = matmul(a_view, b_view);
+  EXPECT_EQ(detail::materializing_copies(), copies)
+      << "matmul must consume these views without copying";
+  const Tensor out_pre = matmul(a_pre, b_pre);
+  ASSERT_EQ(out_view.shape(), out_pre.shape());
+  for (std::int64_t i = 0; i < out_view.numel(); ++i) {
+    ASSERT_EQ(out_view.at(i), out_pre.at(i)) << "forward element " << i;
+  }
+
+  sum(mul(out_view, out_view)).backward();
+  sum(mul(out_pre, out_pre)).backward();
+  // dA scattered into big's columns 3..9; every other column stays zero.
+  for (std::int64_t i = 0; i < 9; ++i) {
+    for (std::int64_t q = 0; q < 31; ++q) {
+      const float expected =
+          (q >= 3 && q < 10)
+              ? a_pre.grad()[static_cast<std::size_t>(i * 7 + (q - 3))]
+              : 0.0F;
+      ASSERT_EQ(big.grad()[static_cast<std::size_t>(i * 31 + q)], expected)
+          << "dA (" << i << ", " << q << ")";
+    }
+  }
+  // dB scattered through the transpose: bt grad is b_pre's grad, transposed.
+  for (std::int64_t j = 0; j < 11; ++j) {
+    for (std::int64_t q = 0; q < 7; ++q) {
+      ASSERT_EQ(bt.grad()[static_cast<std::size_t>(j * 7 + q)],
+                b_pre.grad()[static_cast<std::size_t>(q * 11 + j)])
+          << "dB (" << j << ", " << q << ")";
+    }
+  }
+}
+
+// Same contract for bmm: per-batch strided views (sliced last dim, batched
+// transpose) flow straight into the per-batch GEMMs.
+TEST(GemmKernels, BmmViewOperandsMatchPrecopied) {
+  util::Rng rng(51);
+  Tensor abase = Tensor::randn({2, 5, 12}, rng, 1.0F, true);
+  Tensor btrans = Tensor::randn({2, 9, 7}, rng, 1.0F, true);
+  const Tensor a_view = slice(abase, 2, 4, 7);    // [2, 5, 7] with ld 12
+  const Tensor b_view = transpose_last2(btrans);  // [2, 7, 9] stored-transposed
+  ASSERT_FALSE(a_view.is_contiguous());
+  ASSERT_FALSE(b_view.is_contiguous());
+  Tensor a_pre = a_view.clone().set_requires_grad(true);
+  Tensor b_pre = b_view.clone().set_requires_grad(true);
+
+  const std::uint64_t copies = detail::materializing_copies();
+  const Tensor out_view = bmm(a_view, b_view, false, false);
+  EXPECT_EQ(detail::materializing_copies(), copies)
+      << "bmm must consume these views without copying";
+  const Tensor out_pre = bmm(a_pre, b_pre, false, false);
+  ASSERT_EQ(out_view.shape(), (Shape{2, 5, 9}));
+  for (std::int64_t i = 0; i < out_view.numel(); ++i) {
+    ASSERT_EQ(out_view.at(i), out_pre.at(i)) << "forward element " << i;
+  }
+
+  sum(mul(out_view, out_view)).backward();
+  sum(mul(out_pre, out_pre)).backward();
+  for (std::int64_t b = 0; b < 2; ++b) {
+    for (std::int64_t i = 0; i < 5; ++i) {
+      for (std::int64_t q = 0; q < 12; ++q) {
+        const float expected =
+            (q >= 4 && q < 11)
+                ? a_pre.grad()[static_cast<std::size_t>((b * 5 + i) * 7 +
+                                                        (q - 4))]
+                : 0.0F;
+        ASSERT_EQ(
+            abase.grad()[static_cast<std::size_t>((b * 5 + i) * 12 + q)],
+            expected)
+            << "dA (" << b << ", " << i << ", " << q << ")";
+      }
+    }
+    for (std::int64_t j = 0; j < 9; ++j) {
+      for (std::int64_t q = 0; q < 7; ++q) {
+        ASSERT_EQ(btrans.grad()[static_cast<std::size_t>((b * 9 + j) * 7 + q)],
+                  b_pre.grad()[static_cast<std::size_t>((b * 7 + q) * 9 + j)])
+            << "dB (" << b << ", " << j << ", " << q << ")";
+      }
+    }
   }
 }
 
