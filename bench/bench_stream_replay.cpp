@@ -1,0 +1,142 @@
+// Streaming-capacity benchmark: how many concurrent real-time sessions the
+// online hierarchy (Session ring -> preprocess -> serve::Engine -> Composer)
+// sustains without shedding a window, and at what sample-to-event latency.
+// Two sweeps over one trained model and one engine:
+//   1. real-time session sweep    producers pace samples at the true device
+//      rate (speed 1); the capacity claim is "zero dropped windows at 64
+//      concurrent sessions" with the p50/p95/p99 event latency alongside
+//   2. accelerated replay         the top session count replayed at rising
+//      speed multipliers — speed x k applies the offered window rate of
+//      k x sessions real-time streams, locating headroom past sweep 1
+//      without thousands of threads
+// Complements bench_serve_throughput (request-level serving capacity) by
+// driving the serve layer the way deployments do: per-user continuous
+// ingestion with freshest-data-wins shedding.
+//
+// Knobs: SAGA_STREAM_SESSIONS top session count (default 64),
+// SAGA_STREAM_SECONDS per-session trace length (default 12),
+// SAGA_STREAM_SPEED extra accelerated-sweep multiplier (default 8).
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+
+using namespace saga;
+
+namespace {
+
+struct RunResult {
+  stream::ReplayReport report;
+  double wall_seconds = 0.0;
+};
+
+stream::ReplayReport run_replay(serve::Engine& engine,
+                                const stream::StreamConfig& stream_config,
+                                std::size_t sessions, double seconds,
+                                double speed) {
+  // A fresh manager per setting: session ids reset and counters start at
+  // zero, while the (expensive) engine is shared across the sweep.
+  stream::SessionManager manager(engine, stream_config);
+  std::vector<stream::ReplayTrace> traces;
+  traces.reserve(sessions);
+  for (std::size_t i = 0; i < sessions; ++i) {
+    traces.push_back(stream::synthetic_trace("user-" + std::to_string(i),
+                                             1000 + i, seconds, 100.0));
+  }
+  stream::ReplayOptions options;
+  options.speed = speed;
+  return stream::replay(manager, traces, options);
+}
+
+void add_row(util::Table& table, std::size_t sessions, double speed,
+             const stream::ReplayReport& report) {
+  table.add_row({std::to_string(sessions), util::Table::fmt(speed, 0),
+                 std::to_string(report.manager.windows_sealed),
+                 std::to_string(report.manager.windows_dropped),
+                 std::to_string(report.manager.events),
+                 util::Table::fmt(report.latency.percentile_ms(0.50), 2),
+                 util::Table::fmt(report.latency.percentile_ms(0.95), 2),
+                 util::Table::fmt(report.latency.percentile_ms(0.99), 2),
+                 util::Table::fmt(report.latency.wall_seconds, 1)});
+}
+
+}  // namespace
+
+int main() {
+  const auto max_sessions =
+      static_cast<std::size_t>(util::env_int("SAGA_STREAM_SESSIONS", 64));
+  const auto seconds =
+      static_cast<double>(util::env_int("SAGA_STREAM_SECONDS", 12));
+  const auto top_speed =
+      static_cast<double>(util::env_int("SAGA_STREAM_SPEED", 8));
+
+  std::printf(
+      "== bench_stream_replay: up to %zu sessions x %.0f s @ 100 Hz ==\n\n",
+      max_sessions, seconds);
+
+  // One tiny trained model serves the whole sweep; training budget is
+  // irrelevant to streaming cost.
+  const data::Dataset dataset = data::generate_dataset(data::hhar_like(64));
+  core::PipelineConfig config = bench::bench_profile();
+  config.finetune.epochs = 1;
+  core::Pipeline pipeline(dataset, data::Task::kActivityRecognition, config);
+  (void)pipeline.run(core::Method::kNoPretrain, 0.5);
+  const serve::Artifact artifact = serve::Artifact::from_pipeline(pipeline);
+
+  serve::Engine engine(artifact);
+
+  stream::StreamConfig stream_config;
+  stream_config.session.window_length = artifact.window_length();
+  stream_config.session.hop = artifact.window_length() / 2;
+  stream_config.session.source_rate_hz = 100.0;
+  stream_config.session.target_hz = 20.0;
+  stream_config.session.ring_capacity = 8192;  // absorb accelerated bursts
+  stream_config.g = 1.0;  // synthetic traces are already unit-scaled
+  // Identical trace timestamps make every session seal in the same instant,
+  // so the engine sees the whole fleet as one burst; a window's result stays
+  // useful for about one hop (3 s of stream time), so give deadline
+  // admission that burst budget instead of the request-scale default.
+  stream_config.deadline = std::chrono::seconds(2);
+  stream_config.composer.min_margin = 0.05;
+  stream_config.composer.hysteresis = 1;
+  stream_config.composer.rules = {{"rise-and-move", {0, 1}}};
+
+  {
+    std::printf("-- real-time session sweep (speed 1) --\n");
+    util::Table table({"sessions", "speed", "sealed", "dropped", "events",
+                       "p50 ms", "p95 ms", "p99 ms", "wall s"});
+    for (std::size_t sessions = 16; sessions <= max_sessions; sessions *= 2) {
+      const stream::ReplayReport report =
+          run_replay(engine, stream_config, sessions, seconds, 1.0);
+      add_row(table, sessions, 1.0, report);
+      if (!report.drained) std::printf("   [!] %zu sessions: drain timed out\n",
+                                       sessions);
+    }
+    table.print();
+  }
+
+  {
+    std::printf("\n-- accelerated replay at %zu sessions (headroom probe) --\n",
+                max_sessions);
+    util::Table table({"sessions", "speed", "sealed", "dropped", "events",
+                       "p50 ms", "p95 ms", "p99 ms", "wall s"});
+    for (double speed = 2.0; speed <= top_speed; speed *= 2.0) {
+      const stream::ReplayReport report =
+          run_replay(engine, stream_config, max_sessions, seconds, speed);
+      add_row(table, max_sessions, speed, report);
+      if (!report.drained) std::printf("   [!] speed x%.0f: drain timed out\n",
+                                       speed);
+    }
+    table.print();
+  }
+
+  std::printf(
+      "\nexpected shape: zero dropped windows everywhere; p50 sits just\n"
+      "above one hop of stream time divided by the speed multiplier (a\n"
+      "segment only closes when the next window confirms it), so the serve\n"
+      "layer's own overhead is p50 minus that floor — it grows with the\n"
+      "effective load, and windows shed only once the load passes what the\n"
+      "engine batches through one core.\n");
+  return 0;
+}

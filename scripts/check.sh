@@ -6,24 +6,27 @@
 #   ./scripts/check.sh --strict   same, with warnings-as-errors into
 #                                 <repo>/build-strict (the CI `strict` job)
 #   ./scripts/check.sh --tsan     ThreadSanitizer build into <repo>/build-tsan,
-#                                 running the serve concurrency suite plus the
-#                                 view-aliasing and fused-GRU suites (shared
-#                                 Storage buffers under the pooled matmul
-#                                 backward; the full suite under TSan is too
-#                                 slow)
+#                                 running the serve + stream concurrency
+#                                 suites (SPSC ring producer/consumer pair,
+#                                 pump-thread handoff) plus the view-aliasing
+#                                 and fused-GRU suites (shared Storage buffers
+#                                 under the pooled matmul backward; the full
+#                                 suite under TSan is too slow)
 #   ./scripts/check.sh --asan     AddressSanitizer build into <repo>/build-asan,
-#                                 running the tensor-stack + serve suites —
-#                                 the eltwise/gemm kernel edge paths, the
-#                                 NoGrad tape-skip lifetimes, and the backward
-#                                 closures over saved buffers are where
+#                                 running the tensor-stack + serve + stream
+#                                 suites — the eltwise/gemm kernel edge paths,
+#                                 the NoGrad tape-skip lifetimes, the backward
+#                                 closures over saved buffers, and the ring's
+#                                 wraparound indexing are where
 #                                 use-after-free/overflow bugs would hide
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 ASAN_TARGETS=(test_eltwise test_tensor_ops test_reduce_loss test_shape_ops
-  test_matmul test_attention test_nn test_serve test_views test_gru_cell)
-TSAN_TARGETS=(test_serve test_views test_gru_cell)
+  test_matmul test_attention test_nn test_serve test_views test_gru_cell
+  test_stream)
+TSAN_TARGETS=(test_serve test_views test_gru_cell test_stream)
 
 BUILD_DIR=build
 if [[ "${1:-}" == "--strict" ]]; then

@@ -12,6 +12,8 @@
 //   baselines/ CL-HAR, TPN, IMU augmentations
 //   core/      Pipeline: one API over every method the paper compares
 //   serve/     deployment: Artifact bundles + async batched Engine + Router
+//   stream/    continuous ingestion: per-session SPSC rings, hop windows,
+//              online hierarchical detection (Composer), CSV replay
 //
 // The tensor/, nn/, and util/ layers are implementation substrate and are
 // pulled in transitively; include their headers directly when you need them.
@@ -39,6 +41,10 @@
 #include "signal/fft.hpp"           // IWYU pragma: export
 #include "signal/keypoints.hpp"     // IWYU pragma: export
 #include "signal/period.hpp"        // IWYU pragma: export
+#include "stream/composer.hpp"      // IWYU pragma: export
+#include "stream/manager.hpp"       // IWYU pragma: export
+#include "stream/replay.hpp"        // IWYU pragma: export
+#include "stream/session.hpp"       // IWYU pragma: export
 #include "train/finetune.hpp"       // IWYU pragma: export
 #include "train/metrics.hpp"        // IWYU pragma: export
 #include "train/pretrain.hpp"       // IWYU pragma: export

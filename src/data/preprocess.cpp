@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <stdexcept>
+#include <utility>
 
 namespace saga::data {
 
@@ -93,6 +94,48 @@ std::vector<IMUWindow> slice_windows(const Recording& recording,
   return windows;
 }
 
+std::int64_t decimation_factor(double sample_rate_hz, double target_hz) {
+  if (target_hz <= 0.0 || sample_rate_hz <= 0.0) {
+    throw std::invalid_argument("decimation_factor: rates must be positive");
+  }
+  const auto factor =
+      static_cast<std::int64_t>(std::llround(sample_rate_hz / target_hz));
+  return factor < 1 ? 1 : factor;
+}
+
+std::vector<float> preprocess_window(std::span<const float> raw,
+                                     std::int64_t channels,
+                                     double sample_rate_hz, double target_hz,
+                                     double g) {
+  if (channels <= 0) {
+    throw std::invalid_argument("preprocess_window: channels must be positive");
+  }
+  if (raw.size() % static_cast<std::size_t>(channels) != 0) {
+    throw std::invalid_argument(
+        "preprocess_window: raw size is not a multiple of channels");
+  }
+  const std::int64_t factor = decimation_factor(sample_rate_hz, target_hz);
+  const auto raw_length =
+      static_cast<std::int64_t>(raw.size()) / channels;
+  if (raw_length % factor != 0) {
+    throw std::invalid_argument(
+        "preprocess_window: raw length " + std::to_string(raw_length) +
+        " is not a multiple of the decimation factor " +
+        std::to_string(factor));
+  }
+  // Delegates to the exact batch-path functions (downsample's per-block
+  // double accumulator, normalize_*'s in-place scaling), so stream windows
+  // are bit-identical to offline-ingested ones by construction.
+  Recording window;
+  window.channels = channels;
+  window.sample_rate_hz = sample_rate_hz;
+  window.values.assign(raw.begin(), raw.end());
+  Recording resampled = downsample(window, target_hz);
+  normalize_accelerometer(resampled, g);
+  if (resampled.channels >= 9) normalize_magnetometer(resampled, 6);
+  return std::move(resampled.values);
+}
+
 std::int64_t ingest_recording(Dataset& dataset, Recording recording,
                               double target_hz, std::int32_t activity,
                               std::int32_t user, std::int32_t placement,
@@ -100,14 +143,30 @@ std::int64_t ingest_recording(Dataset& dataset, Recording recording,
   if (recording.channels != dataset.channels) {
     throw std::invalid_argument("ingest_recording: channel mismatch");
   }
-  Recording resampled = downsample(recording, target_hz);
-  normalize_accelerometer(resampled, g);
-  if (resampled.channels >= 9) normalize_magnetometer(resampled, 6);
-  auto windows = slice_windows(resampled, dataset.window_length,
-                               dataset.window_length, activity, user, placement,
-                               device);
-  const auto added = static_cast<std::int64_t>(windows.size());
-  for (auto& window : windows) dataset.samples.push_back(std::move(window));
+  // The batch path slices the raw recording at factor-aligned boundaries
+  // and funnels every window through the shared preprocess_window() entry
+  // point (same arithmetic as downsample-whole-then-slice: block averages
+  // never straddle a window edge because windows are factor-aligned).
+  const std::int64_t factor =
+      decimation_factor(recording.sample_rate_hz, target_hz);
+  const std::int64_t raw_window = dataset.window_length * factor;
+  const std::int64_t raw_length = recording.length();
+  std::int64_t added = 0;
+  for (std::int64_t start = 0; start + raw_window <= raw_length;
+       start += raw_window) {
+    IMUWindow window;
+    window.activity = activity;
+    window.user = user;
+    window.placement = placement;
+    window.device = device;
+    window.values = preprocess_window(
+        std::span<const float>(
+            recording.values.data() + start * recording.channels,
+            static_cast<std::size_t>(raw_window * recording.channels)),
+        recording.channels, recording.sample_rate_hz, target_hz, g);
+    dataset.samples.push_back(std::move(window));
+    ++added;
+  }
   return added;
 }
 

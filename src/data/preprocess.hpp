@@ -6,6 +6,12 @@
 // The synthetic generator emits already-normalized windows; this module is
 // the ingestion path for real IMU logs.
 //
+// The per-window arithmetic lives in one entry point, preprocess_window():
+// both the batch path (ingest_recording) and the streaming path
+// (stream::SessionManager) run raw source-rate windows through it, so a
+// window cut from a live stream is bit-identical to the same samples sliced
+// offline from a whole Recording (tested in tests/test_preprocess.cpp).
+//
 // Consumes: a Recording ([num_samples x channels] row-major at any rate).
 // Produces: normalized fixed-length IMUWindows appended to a Dataset.
 // All functions are pure or mutate only their own arguments, so distinct
@@ -14,6 +20,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "data/dataset.hpp"
@@ -48,6 +55,29 @@ void normalize_accelerometer(Recording& recording, double g = 9.80665,
 /// Magnetometer triad (channels [mag_offset, mag_offset+3)) scaled to unit
 /// norm per time step; zero vectors are left untouched.
 void normalize_magnetometer(Recording& recording, std::int64_t mag_offset = 6);
+
+/// Block-averaging decimation factor from `sample_rate_hz` down to
+/// `target_hz`: round(rate / target), clamped to >= 1 (a source already at
+/// or below the target passes through unchanged). Throws on non-positive
+/// rates. The streaming path sizes its raw windows as
+/// model_window * decimation_factor so that one raw window downsamples to
+/// exactly one model window.
+std::int64_t decimation_factor(double sample_rate_hz, double target_hz);
+
+/// The shared per-window preprocessing entry point: one raw source-rate
+/// window -> one model-ready window. `raw` is [raw_length x channels]
+/// row-major where raw_length must be a multiple of
+/// decimation_factor(sample_rate_hz, target_hz); the result is the
+/// block-averaged, accelerometer-normalized (and, for 9+ channels,
+/// magnetometer-normalized) window of raw_length / factor samples. Because
+/// block averages only ever combine samples within one factor-aligned
+/// block, running this on factor-aligned slices of a recording is
+/// bit-identical to downsampling the whole recording first and slicing
+/// after — which is why the batch and stream ingestion paths can share it.
+std::vector<float> preprocess_window(std::span<const float> raw,
+                                     std::int64_t channels,
+                                     double sample_rate_hz, double target_hz,
+                                     double g = 9.80665);
 
 /// Slices the recording into fixed-length windows with the given stride
 /// (stride == window_length gives the paper's non-overlapping 6 s windows).

@@ -381,7 +381,9 @@ void Engine::run_batch(std::vector<Request>& batch,
 
 EngineStats Engine::stats() const {
   const std::lock_guard<std::mutex> lock(mutex_);
-  return stats_;
+  EngineStats stats = stats_;
+  stats.queue_depth = interactive_.size() + bulk_.size() + in_flight_;
+  return stats;
 }
 
 }  // namespace saga::serve

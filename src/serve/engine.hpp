@@ -181,6 +181,10 @@ struct EngineStats {
   /// milliseconds (0 until the first batch completes) — the admission
   /// control's service-time estimate.
   double ewma_batch_ms = 0.0;
+  /// Undispatched + in-flight requests at snapshot time (the same measure as
+  /// Engine::queue_depth(), captured atomically with the counters above).
+  /// Unlike the other fields this is a gauge, not a monotonic counter.
+  std::uint64_t queue_depth = 0;
   double mean_batch() const noexcept {
     return batches == 0 ? 0.0
                         : static_cast<double>(requests) /

@@ -118,11 +118,11 @@ double LoadReport::percentile_ms(double q) const noexcept {
 }
 
 std::string LoadReport::latency_summary() const {
-  char line[128];
+  char line[160];
   std::snprintf(line, sizeof(line),
-                "p50 %.2f  p95 %.2f  p99 %.2f  max %.2f ms",
+                "p50 %.2f  p95 %.2f  p99 %.2f  p99.9 %.2f  max %.2f ms",
                 percentile_ms(0.50), percentile_ms(0.95), percentile_ms(0.99),
-                percentile_ms(1.0));
+                percentile_ms(0.999), percentile_ms(1.0));
   return line;
 }
 

@@ -57,7 +57,10 @@ struct LoadReport {
   }
   /// Latency at quantile `q` in [0, 1] (0 when no requests ran).
   double percentile_ms(double q) const noexcept;
-  /// One line of the standard percentiles: "p50 a  p95 b  p99 c  max d ms".
+  /// One line of the standard percentiles:
+  /// "p50 a  p95 b  p99 c  p99.9 d  max e ms". The p99.9 entry is what makes
+  /// tail regressions visible at loadgen sample sizes (a p99 over a few
+  /// thousand requests hides the last handful of stragglers).
   std::string latency_summary() const;
 };
 

@@ -87,6 +87,7 @@ EngineStats Router::stats() const {
     // Queueing-delay estimates don't sum across shards; report the slowest
     // shard's estimate as the aggregate worst case.
     total.ewma_batch_ms = std::max(total.ewma_batch_ms, s.ewma_batch_ms);
+    total.queue_depth += s.queue_depth;
   }
   return total;
 }

@@ -155,6 +155,74 @@ TEST(IngestRecording, FullPipelineMatchesPaperSteps) {
   }
 }
 
+TEST(DecimationFactor, RoundsAndClamps) {
+  EXPECT_EQ(decimation_factor(100.0, 20.0), 5);
+  EXPECT_EQ(decimation_factor(200.0, 20.0), 10);
+  EXPECT_EQ(decimation_factor(50.0, 20.0), 3);   // round(2.5) away from zero
+  EXPECT_EQ(decimation_factor(20.0, 20.0), 1);
+  EXPECT_EQ(decimation_factor(10.0, 20.0), 1);   // below target: clamp to 1
+  EXPECT_THROW(decimation_factor(0.0, 20.0), std::invalid_argument);
+  EXPECT_THROW(decimation_factor(100.0, -1.0), std::invalid_argument);
+}
+
+TEST(PreprocessWindow, MatchesDownsampleThenNormalize) {
+  // One raw window through the shared entry point == the explicit paper
+  // steps, bit for bit.
+  const Recording r = ramp_recording(40, 6, 100.0);
+  const std::vector<float> processed =
+      preprocess_window(r.values, 6, 100.0, 20.0);
+  Recording expected = downsample(r, 20.0);
+  normalize_accelerometer(expected);
+  EXPECT_EQ(processed, expected.values);
+}
+
+TEST(PreprocessWindow, ValidatesShape) {
+  const Recording r = ramp_recording(40, 6, 100.0);
+  EXPECT_THROW(preprocess_window(r.values, 0, 100.0, 20.0),
+               std::invalid_argument);
+  EXPECT_THROW(preprocess_window(r.values, 7, 100.0, 20.0),
+               std::invalid_argument);  // 240 values not a multiple of 7
+  // 41 samples is not a multiple of the factor-5 block size.
+  const Recording odd = ramp_recording(41, 6, 100.0);
+  EXPECT_THROW(preprocess_window(odd.values, 6, 100.0, 20.0),
+               std::invalid_argument);
+}
+
+TEST(PreprocessWindow, SlicedWindowsAreBitIdenticalToWholeRecording) {
+  // The contract the streaming path depends on: preprocessing factor-aligned
+  // raw slices one window at a time produces exactly the same floats as
+  // downsampling the whole recording first and slicing after (the batch
+  // path). Overlapping hops included.
+  const std::int64_t factor = decimation_factor(100.0, 20.0);  // 5
+  const std::int64_t window_length = 8;
+  const std::int64_t hop = 4;
+  const Recording raw = ramp_recording(137, 6, 100.0);  // odd tail on purpose
+
+  Recording batch = downsample(raw, 20.0);
+  normalize_accelerometer(batch);
+
+  const std::int64_t raw_window = window_length * factor;
+  const std::int64_t raw_hop = hop * factor;
+  std::int64_t produced = 0;
+  for (std::int64_t start = 0; start + raw_window <= raw.length();
+       start += raw_hop, ++produced) {
+    const std::span<const float> slice(
+        raw.values.data() + static_cast<std::size_t>(start * 6),
+        static_cast<std::size_t>(raw_window * 6));
+    const std::vector<float> streamed =
+        preprocess_window(slice, 6, 100.0, 20.0);
+    ASSERT_EQ(streamed.size(), static_cast<std::size_t>(window_length * 6));
+    const std::int64_t model_start = (start / factor) * 6;
+    for (std::size_t i = 0; i < streamed.size(); ++i) {
+      // EXPECT_EQ, not NEAR: the two paths must agree bit for bit.
+      ASSERT_EQ(streamed[i],
+                batch.values[static_cast<std::size_t>(model_start) + i])
+          << "window starting at raw sample " << start << ", value " << i;
+    }
+  }
+  EXPECT_GE(produced, 4);  // the loop actually exercised overlapping windows
+}
+
 TEST(IngestRecording, RejectsChannelMismatch) {
   Dataset dataset;
   dataset.channels = 9;

@@ -301,6 +301,8 @@ TEST_F(ServeTest, BoundedQueueRejectsCleanlyWhenFull) {
   std::vector<ResponseHandle> accepted;
   for (std::int64_t i = 0; i < 3; ++i) accepted.push_back(engine.submit(window(i)));
   EXPECT_EQ(engine.queue_depth(), 3U);
+  // The stats snapshot exposes the same gauge, captured with the counters.
+  EXPECT_EQ(engine.stats().queue_depth, 3U);
   EXPECT_THROW((void)engine.submit(window(3)), QueueFullError);
   // predict_batch is all-or-nothing: no partial enqueue past the bound.
   EXPECT_THROW((void)engine.predict_batch({window(3), window(4)}),
@@ -316,6 +318,7 @@ TEST_F(ServeTest, BoundedQueueRejectsCleanlyWhenFull) {
     EXPECT_EQ(p.logits, expected.logits);
   }
   EXPECT_EQ(engine.queue_depth(), 0U);
+  EXPECT_EQ(engine.stats().queue_depth, 0U);
 }
 
 TEST_F(ServeTest, HopelessDeadlineIsRejectedAtAdmission) {
@@ -531,6 +534,19 @@ TEST_F(ServeTest, OpenLoopLoadGeneratorReportsLatencyAndRejections) {
   EXPECT_EQ(report.offered_rps, 400.0);
   EXPECT_GT(report.requests_per_second(), 0.0);
   EXPECT_NE(report.latency_summary().find("p99"), std::string::npos);
+  EXPECT_NE(report.latency_summary().find("p99.9"), std::string::npos);
+}
+
+TEST(LoadReportQuantiles, SummaryIncludesTailQuantile) {
+  LoadReport report;
+  for (int i = 0; i < 2000; ++i) {
+    report.latencies_ms.push_back(static_cast<double>(i) * 0.5);
+  }
+  // Nearest-rank over 2000 sorted samples: p99.9 lands on index 1998.
+  EXPECT_DOUBLE_EQ(report.percentile_ms(0.999), 999.0);
+  EXPECT_GE(report.percentile_ms(0.999), report.percentile_ms(0.99));
+  EXPECT_LE(report.percentile_ms(0.999), report.percentile_ms(1.0));
+  EXPECT_NE(report.latency_summary().find("p99.9"), std::string::npos);
 }
 
 TEST_F(ServeTest, LoadGeneratorCountsEveryRequest) {
