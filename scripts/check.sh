@@ -56,3 +56,8 @@ fi
 cmake --build "$BUILD_DIR" -j "$(nproc)"
 cd "$BUILD_DIR"
 ctest --output-on-failure -j "$(nproc)"
+# Serve-bench smoke: one tiny setting per sweep, exercising the open-loop
+# bursty arrivals, Router work stealing, and the histogram export end to
+# end (capacity numbers from this run mean nothing — see docs/BASELINES.md
+# for the full sweep).
+SAGA_SERVE_SMOKE=1 ./bench_serve_throughput

@@ -28,7 +28,19 @@ EngineConfig checked(EngineConfig config) {
   if (config.max_queue_depth <= 0) {
     throw std::invalid_argument("Engine: max_queue_depth must be positive");
   }
+  if (config.warmup_forwards < 0) {
+    throw std::invalid_argument("Engine: warmup_forwards must be >= 0");
+  }
+  if (config.initial_ewma_batch_ms < 0.0) {
+    throw std::invalid_argument("Engine: initial_ewma_batch_ms must be >= 0");
+  }
   return config;
+}
+
+/// The admission-control estimate update shared by real batches and the
+/// constructor's warmup passes: first observation seeds, later ones fold.
+void fold_ewma(double& ewma, double batch_ms) {
+  ewma = ewma == 0.0 ? batch_ms : 0.8 * ewma + 0.2 * batch_ms;
 }
 
 }  // namespace
@@ -62,7 +74,35 @@ Engine::Engine(Artifact artifact, EngineConfig config)
   // (configs, task, provenance, normalization stats) stays queryable.
   artifact_.backbone_state.clear();
   artifact_.classifier_state.clear();
+  warm_up();
   dispatcher_ = std::thread([this] { dispatch_loop(); });
+}
+
+void Engine::warm_up() {
+  // Runs before the dispatcher thread exists and before the engine is
+  // published to any caller, so the models are accessed exclusively and
+  // stats_ needs no lock.
+  if (config_.initial_ewma_batch_ms > 0.0) {
+    stats_.ewma_batch_ms = config_.initial_ewma_batch_ms;
+    return;
+  }
+  if (config_.warmup_forwards == 0) return;
+  NoGradGuard no_grad;
+  const std::int64_t t = artifact_.window_length();
+  const std::int64_t c = artifact_.channels();
+  for (std::int64_t pass = 0; pass < config_.warmup_forwards; ++pass) {
+    const Clock::time_point started = Clock::now();
+    const Tensor inputs =
+        Tensor::from_data({1, t, c},
+                          std::vector<float>(static_cast<std::size_t>(t * c)));
+    (void)classifier_.forward(backbone_.encode(inputs));
+    // A batch-of-one underestimates a full batch's wall time, so the
+    // seeded gate stays conservative (admits more than it should rather
+    // than less) until real traffic refines the estimate.
+    fold_ewma(stats_.ewma_batch_ms,
+              std::chrono::duration<double, std::milli>(Clock::now() - started)
+                  .count());
+  }
 }
 
 Engine::~Engine() { shutdown(); }
@@ -118,7 +158,7 @@ std::vector<ResponseHandle> Engine::enqueue_all(std::vector<Request>& staged,
   {
     const std::lock_guard<std::mutex> lock(mutex_);
     if (stopping_) {
-      throw std::runtime_error("Engine::submit: engine is shut down");
+      throw EngineStoppedError("Engine::submit: engine is shut down");
     }
     const std::size_t queued = interactive_.size() + bulk_.size();
     if (queued + staged.size() >
@@ -233,6 +273,81 @@ std::size_t Engine::queue_depth() const {
   return interactive_.size() + bulk_.size() + in_flight_;
 }
 
+std::size_t Engine::pending_depth() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return interactive_.size() + bulk_.size();
+}
+
+void Engine::set_work_source(WorkSource source,
+                             std::chrono::microseconds poll) {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    work_source_ = std::move(source);
+    work_poll_ = work_source_ ? poll : std::chrono::microseconds(0);
+  }
+  // Wake an idle dispatcher so it switches from an indefinite wait to the
+  // polling wait (or back) without waiting for the next submission.
+  queue_cv_.notify_all();
+}
+
+std::vector<Engine::Request> Engine::steal_pending(std::size_t max_requests) {
+  std::vector<Request> taken;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  // A draining engine keeps its queue: shutdown() has promised those
+  // callers their results, and the dispatcher is already emptying it.
+  if (stopping_ || max_requests == 0) return taken;
+  // Same order the dispatcher would have taken them: expired deadlines
+  // first, then interactive, then bulk — so stealing preserves each
+  // request's relative urgency, it just moves where the batch runs.
+  const Clock::time_point now = Clock::now();
+  const auto take_expired = [&](std::deque<Request>& queue) {
+    for (auto it = queue.begin();
+         it != queue.end() && taken.size() < max_requests;) {
+      if (it->deadline_at <= now) {
+        taken.push_back(std::move(*it));
+        it = queue.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  };
+  take_expired(interactive_);
+  take_expired(bulk_);
+  while (taken.size() < max_requests && !interactive_.empty()) {
+    taken.push_back(std::move(interactive_.front()));
+    interactive_.pop_front();
+  }
+  while (taken.size() < max_requests && !bulk_.empty()) {
+    taken.push_back(std::move(bulk_.front()));
+    bulk_.pop_front();
+  }
+  stats_.donated += taken.size();
+  return taken;
+}
+
+void Engine::inject_stolen(std::vector<Request> requests) {
+  if (requests.empty()) return;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_) {
+      // The caller still owns the requests (by-value parameter is theirs
+      // to recover via catch + re-route); a stopped dispatcher would never
+      // run them.
+      throw EngineStoppedError(
+          "Engine::inject_stolen: engine is shut down; place the requests "
+          "elsewhere");
+    }
+    // No max_queue_depth check: these requests were already admitted by a
+    // sibling shard — this is rebalancing, not new admission.
+    stats_.stolen += requests.size();
+    for (Request& request : requests) {
+      (request.priority == Priority::kBulk ? bulk_ : interactive_)
+          .push_back(std::move(request));
+    }
+  }
+  queue_cv_.notify_one();
+}
+
 std::vector<Engine::Request> Engine::take_batch_locked(Clock::time_point now) {
   const auto cap = static_cast<std::size_t>(config_.max_batch_size);
   std::vector<Request> batch;
@@ -292,6 +407,50 @@ void Engine::dispatch_loop() {
   for (;;) {
     if (interactive_.empty() && bulk_.empty()) {
       if (stopping_) return;
+      if (work_source_) {
+        // Idle with a work source installed: poll a sibling before
+        // sleeping. The source (Router::steal_for) takes its own locks, so
+        // invoke it unlocked; re-check the queues afterwards because a
+        // submission may have landed while we were out.
+        const WorkSource source = work_source_;
+        const std::chrono::microseconds poll = work_poll_;
+        lock.unlock();
+        std::vector<Request> stolen;
+        try {
+          stolen = source(static_cast<std::size_t>(config_.max_batch_size));
+        } catch (...) {
+          // A racing swap/shutdown can invalidate the source mid-call;
+          // treat it as "nothing to steal" — the next poll sees the
+          // refreshed source (or none).
+        }
+        lock.lock();
+        if (!stolen.empty()) {
+          // Enqueue even when a shutdown raced the steal: the drain loop
+          // processes non-empty queues while stopping, so the stolen
+          // requests are still fulfilled (by this engine) before the
+          // dispatcher exits — nothing is ever dropped. launch_by collapses
+          // to now: the thief was idle, so stolen work launches in the very
+          // next batch instead of re-waiting its original batch window —
+          // and because the take happens under this same lock hold, the
+          // stolen requests are never observable as pending by a sibling
+          // (no steal ping-pong).
+          stats_.stolen += stolen.size();
+          const Clock::time_point now = Clock::now();
+          for (Request& request : stolen) {
+            request.launch_by = now;
+            (request.priority == Priority::kBulk ? bulk_ : interactive_)
+                .push_back(std::move(request));
+          }
+          continue;  // dispatch the stolen work immediately
+        }
+        if (interactive_.empty() && bulk_.empty() && !stopping_) {
+          // Nothing stolen and still idle: sleep one poll interval (the
+          // queue re-check above happened under the same hold of the lock,
+          // so a concurrent submit cannot slip between check and wait).
+          queue_cv_.wait_for(lock, poll);
+        }
+        continue;
+      }
       queue_cv_.wait(lock);
       continue;
     }
@@ -314,11 +473,15 @@ void Engine::dispatch_loop() {
         continue;  // re-evaluate: new arrivals may have filled the batch
       }
     }
+    // Depth observed at batch launch: everything queued before the take
+    // plus whatever a concurrent batch still has in flight.
+    stats_.queue_depth_hist.record(static_cast<double>(total + in_flight_));
     std::vector<Request> batch = take_batch_locked(Clock::now());
     stats_.requests += batch.size();
     stats_.batches += 1;
     stats_.largest_batch =
         std::max<std::uint64_t>(stats_.largest_batch, batch.size());
+    stats_.batch_size_hist.record(static_cast<double>(batch.size()));
     in_flight_ += batch.size();
     const std::uint64_t batch_index = stats_.batches;
     lock.unlock();
@@ -354,9 +517,8 @@ void Engine::run_batch(std::vector<Request>& batch,
       const double batch_ms =
           std::chrono::duration<double, std::milli>(completed - started)
               .count();
-      stats_.ewma_batch_ms = stats_.ewma_batch_ms == 0.0
-                                 ? batch_ms
-                                 : 0.8 * stats_.ewma_batch_ms + 0.2 * batch_ms;
+      fold_ewma(stats_.ewma_batch_ms, batch_ms);
+      stats_.batch_latency_ms_hist.record(batch_ms);
     }
     for (std::int64_t i = 0; i < b; ++i) {
       detail::Fulfilled fulfilled;
@@ -383,6 +545,9 @@ EngineStats Engine::stats() const {
   const std::lock_guard<std::mutex> lock(mutex_);
   EngineStats stats = stats_;
   stats.queue_depth = interactive_.size() + bulk_.size() + in_flight_;
+  // For a single engine mean and worst coincide; Router::aggregate_stats
+  // separates them across shards.
+  stats.ewma_batch_ms_worst = stats.ewma_batch_ms;
   return stats;
 }
 

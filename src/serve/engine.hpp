@@ -43,6 +43,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <future>
 #include <mutex>
 #include <span>
@@ -53,6 +54,7 @@
 #include "models/backbone.hpp"
 #include "models/classifier.hpp"
 #include "serve/artifact.hpp"
+#include "serve/metrics.hpp"
 
 namespace saga::serve {
 
@@ -91,6 +93,15 @@ struct HopelessDeadlineError : QueueFullError {
   using QueueFullError::QueueFullError;
 };
 
+/// Thrown by submit()/predict() after shutdown() — including while an old
+/// engine drains during Router::swap_artifact. Distinct from backpressure:
+/// the Router re-routes to the live replacement shard instead of counting
+/// it against the caller. Derives from std::runtime_error, so pre-existing
+/// "submit after shutdown throws runtime_error" handling is unchanged.
+struct EngineStoppedError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
 struct EngineConfig {
   /// Most pending requests coalesced into one forward pass.
   std::int64_t max_batch_size = 16;
@@ -110,6 +121,20 @@ struct EngineConfig {
   /// Apply the artifact's per-channel normalization stats (when present) to
   /// incoming windows. Disable when callers pre-normalize.
   bool apply_normalization = true;
+  /// Synthetic (zeros-window) forward passes run at construction to seed
+  /// ewma_batch_ms before any real traffic arrives. Without this, deadline
+  /// admission is wide open on a cold engine: the gate needs a latency
+  /// estimate, so a freshly constructed (or freshly hot-swapped) engine
+  /// would admit an arbitrarily deep queue of already-hopeless requests
+  /// until its first batch completed. The warmup passes touch no counters
+  /// or histograms (they are not traffic), only the EWMA. 0 disables —
+  /// the pre-warmup cold-start behaviour, for tests that need it.
+  std::int64_t warmup_forwards = 1;
+  /// When positive, seeds ewma_batch_ms directly and skips the warmup
+  /// forwards. Router::swap_artifact uses this to carry the admission
+  /// estimate across a hot-swap, so the replacement shard rejects hopeless
+  /// deadlines from its first submission.
+  double initial_ewma_batch_ms = 0.0;
 };
 
 struct Prediction {
@@ -125,6 +150,27 @@ struct Fulfilled {
   Prediction prediction;
   std::chrono::steady_clock::time_point completed{};
   std::uint64_t batch_index = 0;  // stats().batches value of the fulfilling pass
+};
+
+using Clock = std::chrono::steady_clock;
+
+/// One queued submission, self-contained: the (already normalized) window,
+/// its batching policy stamps, and the promise its ResponseHandle waits on.
+/// Serve-internal — exposed here only because cross-shard work stealing
+/// (Engine::steal_pending / inject_stolen, wired by the Router) moves
+/// requests between engines serving the same artifact; whichever engine
+/// fulfils a request produces the identical result, so moving one changes
+/// only its latency.
+struct Request {
+  std::vector<float> window;  // already normalized, size T*C
+  Priority priority = Priority::kInteractive;
+  Clock::time_point launch_by{};  // latest batch-launch time for this request
+  /// Absolute expiry of the per-request deadline (time_point::max() when
+  /// none). Once past, the request is pulled into the next batch ahead of
+  /// priority order — a deadline overrides queueing policy, not just the
+  /// batch window.
+  Clock::time_point deadline_at = Clock::time_point::max();
+  std::promise<detail::Fulfilled> result;
 };
 }  // namespace detail
 
@@ -167,7 +213,9 @@ class ResponseHandle {
   std::uint64_t batch_index_ = 0;
 };
 
-/// Monotonic service counters (a consistent snapshot via Engine::stats()).
+/// Monotonic service counters plus distribution histograms (a consistent
+/// snapshot via Engine::stats(); Router::stats() aggregates across shards
+/// via aggregate_stats()).
 struct EngineStats {
   std::uint64_t requests = 0;       // windows predicted
   std::uint64_t batches = 0;        // forward passes run
@@ -177,14 +225,33 @@ struct EngineStats {
   /// Submissions refused by deadline admission control (disjoint from
   /// `rejected`, which counts only queue-bound refusals).
   std::uint64_t rejected_hopeless = 0;
+  /// Requests this engine pulled from sibling shards' queues while its own
+  /// dispatcher was idle (Router cross-shard work stealing); counted into
+  /// `requests` by the fulfilling — this — engine.
+  std::uint64_t stolen = 0;
+  /// Requests sibling shards pulled out of this engine's queues.
+  std::uint64_t donated = 0;
   /// Exponentially weighted moving average of forward-pass wall time, in
-  /// milliseconds (0 until the first batch completes) — the admission
-  /// control's service-time estimate.
+  /// milliseconds — the admission control's service-time estimate. Seeded
+  /// by the constructor's warmup forwards (see EngineConfig), so it is
+  /// positive from the first submission unless warmup is disabled.
   double ewma_batch_ms = 0.0;
+  /// For a single engine, identical to ewma_batch_ms. In a Router
+  /// aggregate, ewma_batch_ms becomes the depth-weighted mean across
+  /// shards and this field keeps the slowest shard's estimate, so
+  /// worst-case consumers still have the old (pre-fix) max available.
+  double ewma_batch_ms_worst = 0.0;
   /// Undispatched + in-flight requests at snapshot time (the same measure as
   /// Engine::queue_depth(), captured atomically with the counters above).
   /// Unlike the other fields this is a gauge, not a monotonic counter.
   std::uint64_t queue_depth = 0;
+  /// Distributions over every forward pass: wall time per batch, windows
+  /// per batch, and queued+in-flight depth observed at batch launch. Fixed
+  /// log-scale layouts (serve::Histogram), merged element-wise across
+  /// shards by Router::stats().
+  Histogram batch_latency_ms_hist = Histogram::latency_ms();
+  Histogram batch_size_hist = Histogram::batch_sizes();
+  Histogram queue_depth_hist = Histogram::depths();
   double mean_batch() const noexcept {
     return batches == 0 ? 0.0
                         : static_cast<double>(requests) /
@@ -206,8 +273,8 @@ class Engine {
   /// handle. Throws std::invalid_argument on a wrong-sized window,
   /// QueueFullError when the bounded queue is full, HopelessDeadlineError
   /// when admission control deems the deadline unmeetable (see
-  /// EngineConfig::deadline_admission), and std::runtime_error after
-  /// shutdown.
+  /// EngineConfig::deadline_admission), and EngineStoppedError (a
+  /// std::runtime_error) after shutdown.
   ResponseHandle submit(std::span<const float> window,
                         RequestOptions options = {});
 
@@ -229,6 +296,39 @@ class Engine {
   /// Undispatched + in-flight requests right now — the router's routing
   /// signal and the backpressure measure.
   std::size_t queue_depth() const;
+  /// Undispatched requests only (no in-flight): the measure the bounded
+  /// queue admits against, and the work-stealing skew signal.
+  std::size_t pending_depth() const;
+
+  // ---- cross-shard work stealing (Router plumbing) --------------------
+  /// A work source the idle dispatcher polls: asked for up to `max`
+  /// requests, it returns requests stolen from a sibling engine serving
+  /// the same artifact (or an empty vector when no sibling runs hot).
+  using WorkSource =
+      std::function<std::vector<detail::Request>(std::size_t max)>;
+  /// Installs (or, with nullptr, removes) the work source. With a source
+  /// set, a dispatcher that goes idle invokes it before sleeping and then
+  /// re-polls every `poll` instead of blocking indefinitely, so a queue
+  /// running hot on a sibling is discovered within one poll interval.
+  /// Stolen requests launch immediately (the thief is idle, so their
+  /// batch-window stamps collapse to now) and are counted under
+  /// stats().stolen. Thread-safe.
+  void set_work_source(WorkSource source, std::chrono::microseconds poll);
+  /// Pops up to `max_requests` undispatched requests off this engine's
+  /// queues, oldest-first within the same order the dispatcher would have
+  /// taken them (expired deadlines, then interactive, then bulk), and
+  /// counts them under stats().donated. Returns empty after shutdown (a
+  /// draining engine keeps its own queue). The caller owns the requests
+  /// and must hand them to an engine serving the same artifact — results
+  /// are then bit-identical, only latency changes.
+  std::vector<detail::Request> steal_pending(std::size_t max_requests);
+  /// Enqueues requests stolen from a sibling (keeping their priority
+  /// class and deadline stamps) and wakes the dispatcher; counts them
+  /// under stats().stolen. Deliberately not subject to max_queue_depth:
+  /// this is rebalancing of already-admitted work, not new admission.
+  /// Throws EngineStoppedError after shutdown — the caller still owns the
+  /// requests and must place them elsewhere.
+  void inject_stolen(std::vector<detail::Request> requests);
 
   /// Drains pending requests, then stops the dispatcher. Idempotent; called
   /// by the destructor.
@@ -242,19 +342,8 @@ class Engine {
   EngineStats stats() const;
 
  private:
-  using Clock = std::chrono::steady_clock;
-
-  struct Request {
-    std::vector<float> window;  // already normalized, size T*C
-    Priority priority = Priority::kInteractive;
-    Clock::time_point launch_by{};  // latest batch-launch time for this request
-    /// Absolute expiry of the per-request deadline (time_point::max() when
-    /// none). Once past, the request is pulled into the next batch ahead of
-    /// priority order — a deadline overrides queueing policy, not just the
-    /// batch window.
-    Clock::time_point deadline_at = Clock::time_point::max();
-    std::promise<detail::Fulfilled> result;
-  };
+  using Clock = detail::Clock;
+  using Request = detail::Request;
 
   Request make_request(std::span<const float> window,
                        const RequestOptions& options) const;
@@ -272,6 +361,10 @@ class Engine {
   /// bulk anti-starvation guard.
   std::vector<Request> take_batch_locked(Clock::time_point now);
   void run_batch(std::vector<Request>& batch, std::uint64_t batch_index);
+  /// Seeds stats_.ewma_batch_ms before the engine is published: either
+  /// from config_.initial_ewma_batch_ms, or by timing warmup_forwards
+  /// synthetic zeros-window passes (counters and histograms untouched).
+  void warm_up();
 
   Artifact artifact_;
   EngineConfig config_;
@@ -286,6 +379,8 @@ class Engine {
   std::uint64_t batches_since_bulk_ = 0;
   EngineStats stats_;
   bool stopping_ = false;
+  WorkSource work_source_;                  // guarded by mutex_
+  std::chrono::microseconds work_poll_{0};  // guarded by mutex_
   std::once_flag join_once_;  // serializes concurrent shutdown() joins
   std::thread dispatcher_;    // last member: joined before the rest dies
 };
