@@ -4,6 +4,7 @@
 #include <iostream>
 
 #include "tensor/gemm/gemm.hpp"
+#include "tensor/gemm/gemm_s8.hpp"
 
 int main() {
   std::cout << "gemm dispatch kernel: " << saga::gemm::kernel_name() << "\n";
@@ -16,6 +17,22 @@ int main() {
   std::cout << "available kernels:";
   for (const saga::gemm::Kernel k : saga::gemm::available_kernels()) {
     std::cout << " " << saga::gemm::kernel_name(k);
+  }
+  std::cout << "\n";
+
+  std::cout << "int8 gemm dispatch kernel: " << saga::gemm::int8_kernel_name()
+            << "\n";
+  std::cout << "cpu supports int8 avx2 (maddubs): "
+            << (saga::gemm::cpu_supports_int8_avx2() ? "yes" : "no") << "\n";
+  std::cout << "cpu supports avx-vnni: "
+            << (saga::gemm::cpu_supports_avx2_vnni() ? "yes" : "no")
+            << ", avx512-vnni: "
+            << (saga::gemm::cpu_supports_avx512_vnni() ? "yes" : "no")
+            << " (no vnni kernel yet; dispatch seam for lifting the 7-bit "
+               "activation restriction — see gemm_s8.hpp)\n";
+  std::cout << "available int8 kernels:";
+  for (const saga::gemm::Int8Kernel k : saga::gemm::available_int8_kernels()) {
+    std::cout << " " << saga::gemm::int8_kernel_name(k);
   }
   std::cout << "\n";
   return 0;

@@ -8,13 +8,15 @@
 #   ./scripts/check.sh --tsan     ThreadSanitizer build into <repo>/build-tsan,
 #                                 running the serve + stream concurrency
 #                                 suites (SPSC ring producer/consumer pair,
-#                                 pump-thread handoff) plus the view-aliasing
-#                                 and fused-GRU suites (shared Storage buffers
-#                                 under the pooled matmul backward; the full
-#                                 suite under TSan is too slow)
+#                                 pump-thread handoff) plus the view-aliasing,
+#                                 fused-GRU and int8-quant suites (shared
+#                                 Storage buffers under the pooled matmul
+#                                 backward; gemm_s8's M-split over the pool;
+#                                 the full suite under TSan is too slow)
 #   ./scripts/check.sh --asan     AddressSanitizer build into <repo>/build-asan,
-#                                 running the tensor-stack + serve + stream
-#                                 suites — the eltwise/gemm kernel edge paths,
+#                                 running the tensor-stack + serve + stream +
+#                                 quant suites — the eltwise/gemm/gemm_s8
+#                                 kernel edge paths,
 #                                 the NoGrad tape-skip lifetimes, the backward
 #                                 closures over saved buffers, and the ring's
 #                                 wraparound indexing are where
@@ -25,8 +27,8 @@ cd "$(dirname "$0")/.."
 
 ASAN_TARGETS=(test_eltwise test_tensor_ops test_reduce_loss test_shape_ops
   test_matmul test_attention test_nn test_serve test_views test_gru_cell
-  test_stream)
-TSAN_TARGETS=(test_serve test_views test_gru_cell test_stream)
+  test_stream test_quant)
+TSAN_TARGETS=(test_serve test_views test_gru_cell test_stream test_quant)
 
 BUILD_DIR=build
 if [[ "${1:-}" == "--strict" ]]; then
@@ -36,8 +38,10 @@ elif [[ "${1:-}" == "--tsan" ]]; then
   BUILD_DIR=build-tsan
   cmake -B "$BUILD_DIR" -S . -DSAGA_TSAN=ON -DSAGA_BUILD_BENCH=OFF \
     -DSAGA_BUILD_EXAMPLES=OFF
-  cmake --build "$BUILD_DIR" -j "$(nproc)" --target "${TSAN_TARGETS[@]}"
+  cmake --build "$BUILD_DIR" -j "$(nproc)" --target "${TSAN_TARGETS[@]}" \
+    example_gemm_info
   cd "$BUILD_DIR"
+  ./gemm_info
   ctest --output-on-failure \
     -R "^($(IFS='|'; echo "${TSAN_TARGETS[*]}"))\$"
   exit 0
@@ -45,8 +49,10 @@ elif [[ "${1:-}" == "--asan" ]]; then
   BUILD_DIR=build-asan
   cmake -B "$BUILD_DIR" -S . -DSAGA_ASAN=ON -DSAGA_BUILD_BENCH=OFF \
     -DSAGA_BUILD_EXAMPLES=OFF
-  cmake --build "$BUILD_DIR" -j "$(nproc)" --target "${ASAN_TARGETS[@]}"
+  cmake --build "$BUILD_DIR" -j "$(nproc)" --target "${ASAN_TARGETS[@]}" \
+    example_gemm_info
   cd "$BUILD_DIR"
+  ./gemm_info
   ctest --output-on-failure \
     -R "^($(IFS='|'; echo "${ASAN_TARGETS[*]}"))\$"
   exit 0

@@ -1,9 +1,12 @@
 #include "nn/gru.hpp"
 
 #include <stdexcept>
+#include <utility>
 
 #include "nn/init.hpp"
+#include "quant/qlinear.hpp"
 #include "tensor/eltwise/eltwise.hpp"
+#include "tensor/grad_mode.hpp"
 #include "tensor/matmul.hpp"
 #include "tensor/ops.hpp"
 #include "tensor/shape_ops.hpp"
@@ -28,7 +31,25 @@ Tensor GRUCell::forward(const Tensor& x, const Tensor& h) const {
 }
 
 Tensor GRUCell::precompute_inputs(const Tensor& x_flat) const {
-  return eltwise::bias_add(matmul(x_flat, w_ih_), b_ih_);
+  Tensor gi;
+  if (q_ih_ != nullptr && !grad_enabled()) {
+    gi = quant::linear_forward(x_flat, *q_ih_);
+  } else {
+    quant::observe(this, 0, x_flat);  // no-op outside a CalibrationScope
+    gi = matmul(x_flat, w_ih_);
+  }
+  return eltwise::bias_add(gi, b_ih_);
+}
+
+Tensor GRUCell::hidden_gates(const Tensor& h) const {
+  Tensor gh;
+  if (q_hh_ != nullptr && !grad_enabled()) {
+    gh = quant::linear_forward(h, *q_hh_);
+  } else {
+    quant::observe(this, 1, h);
+    gh = matmul(h, w_hh_);
+  }
+  return eltwise::bias_add(gh, b_hh_);
 }
 
 Tensor GRUCell::step(const Tensor& gi, const Tensor& h) const {
@@ -36,12 +57,12 @@ Tensor GRUCell::step(const Tensor& gi, const Tensor& h) const {
   // whole gate chain (two sigmoids, a tanh, and the convex state blend) into
   // one sweep; gi passes through as a strided view when it is a timestep
   // slice of the layer's precomputed gate buffer.
-  return eltwise::gru_cell(gi, eltwise::bias_add(matmul(h, w_hh_), b_hh_), h);
+  return eltwise::gru_cell(gi, hidden_gates(h), h);
 }
 
 Tensor GRUCell::step_composed(const Tensor& gi, const Tensor& h) const {
-  // gh = h W_hh + b_hh. Gate order: [r | z | n].
-  const Tensor gh = eltwise::bias_add(matmul(h, w_hh_), b_hh_);
+  // Gate order: [r | z | n].
+  const Tensor gh = hidden_gates(h);
 
   const Tensor gi_r = slice(gi, 1, 0, hidden_);
   const Tensor gi_z = slice(gi, 1, hidden_, hidden_);
@@ -56,6 +77,18 @@ Tensor GRUCell::step_composed(const Tensor& gi, const Tensor& h) const {
   // h' = (1 - z) * n + z * h
   const Tensor one_minus_z = add_scalar(neg(z), 1.0F);
   return add(mul(one_minus_z, n), mul(z, h));
+}
+
+void GRUCell::set_quantized(std::shared_ptr<const quant::LinearQuant> ih,
+                            std::shared_ptr<const quant::LinearQuant> hh) {
+  if (ih != nullptr && (ih->in != input_ || ih->out != 3 * hidden_)) {
+    throw std::invalid_argument("GRUCell::set_quantized: w_ih shape mismatch");
+  }
+  if (hh != nullptr && (hh->in != hidden_ || hh->out != 3 * hidden_)) {
+    throw std::invalid_argument("GRUCell::set_quantized: w_hh shape mismatch");
+  }
+  q_ih_ = std::move(ih);
+  q_hh_ = std::move(hh);
 }
 
 GRU::GRU(std::int64_t input_dim, std::int64_t hidden_dim, std::int64_t num_layers,

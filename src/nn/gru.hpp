@@ -8,6 +8,10 @@
 #include "nn/module.hpp"
 #include "util/rng.hpp"
 
+namespace saga::quant {
+struct LinearQuant;
+}
+
 namespace saga::nn {
 
 /// Single-layer GRU cell. Weight layout packs the three gates (r, z, n):
@@ -37,13 +41,33 @@ class GRUCell : public Module {
 
   std::int64_t hidden_dim() const noexcept { return hidden_; }
 
+  /// Gate weight matrices [in, 3H] / [H, 3H]; exposed read-only for
+  /// post-training quantization.
+  const Tensor& weight_ih() const noexcept { return w_ih_; }
+  const Tensor& weight_hh() const noexcept { return w_hh_; }
+
+  /// Installs prepacked int8 gate weights (either may be nullptr to leave
+  /// that side fp32): the gate matmuls route through the int8 GEMM whenever
+  /// gradients are off. Calibration observe slots: 0 = x (w_ih input),
+  /// 1 = h (w_hh input).
+  void set_quantized(std::shared_ptr<const quant::LinearQuant> ih,
+                     std::shared_ptr<const quant::LinearQuant> hh);
+  bool quantized() const noexcept {
+    return q_ih_ != nullptr || q_hh_ != nullptr;
+  }
+
  private:
+  /// gh = h W_hh + b_hh, on the quantized path when available.
+  Tensor hidden_gates(const Tensor& h) const;
+
   std::int64_t input_;
   std::int64_t hidden_;
   Tensor w_ih_;
   Tensor w_hh_;
   Tensor b_ih_;
   Tensor b_hh_;
+  std::shared_ptr<const quant::LinearQuant> q_ih_;
+  std::shared_ptr<const quant::LinearQuant> q_hh_;
 };
 
 /// Multi-layer unidirectional GRU over [B, T, D] sequences.

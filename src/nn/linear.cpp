@@ -1,9 +1,12 @@
 #include "nn/linear.hpp"
 
 #include <stdexcept>
+#include <utility>
 
 #include "nn/init.hpp"
+#include "quant/qlinear.hpp"
 #include "tensor/eltwise/eltwise.hpp"
+#include "tensor/grad_mode.hpp"
 #include "tensor/matmul.hpp"
 #include "tensor/ops.hpp"
 #include "tensor/shape_ops.hpp"
@@ -32,7 +35,13 @@ Tensor Linear::forward(const Tensor& x, Activation activation) const {
     throw std::invalid_argument("Linear: expected " + std::to_string(in_) +
                                 " features, got " + std::to_string(flat.size(1)));
   }
-  Tensor y = matmul(flat, weight_);
+  Tensor y;
+  if (quant_ != nullptr && !grad_enabled()) {
+    y = quant::linear_forward(flat, *quant_);
+  } else {
+    quant::observe(this, 0, flat);  // no-op outside a CalibrationScope
+    y = matmul(flat, weight_);
+  }
   if (activation == Activation::kGelu) {
     y = eltwise::bias_gelu(y, bias_);  // bias_ may be undefined: plain GELU
   } else if (bias_.defined()) {
@@ -40,6 +49,17 @@ Tensor Linear::forward(const Tensor& x, Activation activation) const {
   }
   if (is_3d) y = reshape(y, {x.size(0), x.size(1), out_});
   return y;
+}
+
+void Linear::set_quantized(std::shared_ptr<const quant::LinearQuant> q) {
+  if (q != nullptr && (q->in != in_ || q->out != out_)) {
+    throw std::invalid_argument(
+        "Linear::set_quantized: quantized weight is [" +
+        std::to_string(q->in) + ", " + std::to_string(q->out) +
+        "] but the layer is [" + std::to_string(in_) + ", " +
+        std::to_string(out_) + "]");
+  }
+  quant_ = std::move(q);
 }
 
 }  // namespace saga::nn

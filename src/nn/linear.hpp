@@ -1,8 +1,14 @@
 // Fully connected layer.
 #pragma once
 
+#include <memory>
+
 #include "nn/module.hpp"
 #include "util/rng.hpp"
+
+namespace saga::quant {
+struct LinearQuant;
+}
 
 namespace saga::nn {
 
@@ -24,11 +30,23 @@ class Linear : public Module {
   std::int64_t in_features() const noexcept { return in_; }
   std::int64_t out_features() const noexcept { return out_; }
 
+  /// Weight [in, out] / bias [out] (bias undefined when with_bias=false);
+  /// exposed read-only for post-training quantization.
+  const Tensor& weight() const noexcept { return weight_; }
+  const Tensor& bias() const noexcept { return bias_; }
+
+  /// Installs a prepacked int8 weight: forward() routes its matmul through
+  /// the int8 GEMM whenever gradients are off (training and autograd always
+  /// use the fp32 weight). Shape-checked; pass nullptr to restore pure fp32.
+  void set_quantized(std::shared_ptr<const quant::LinearQuant> q);
+  bool quantized() const noexcept { return quant_ != nullptr; }
+
  private:
   std::int64_t in_;
   std::int64_t out_;
   Tensor weight_;  // [in, out]
   Tensor bias_;    // [out] (undefined when with_bias=false)
+  std::shared_ptr<const quant::LinearQuant> quant_;
 };
 
 }  // namespace saga::nn

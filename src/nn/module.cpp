@@ -79,6 +79,15 @@ void Module::set_training(bool training) {
   for (auto& [name, child] : children_) child->set_training(training);
 }
 
+void Module::for_each_module(
+    const std::function<void(const std::string&, Module&)>& fn,
+    const std::string& prefix) {
+  fn(prefix, *this);
+  for (auto& [name, child] : children_) {
+    child->for_each_module(fn, prefix.empty() ? name : prefix + '.' + name);
+  }
+}
+
 Tensor& Module::register_parameter(std::string name, Tensor tensor) {
   if (!tensor.requires_grad()) tensor.set_requires_grad(true);
   params_.emplace_back(std::move(name), std::move(tensor));

@@ -8,6 +8,7 @@
 // Guidelines C.10: prefer concrete types).
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <utility>
@@ -47,6 +48,15 @@ class Module {
   /// Training-mode flag (controls dropout); propagates to children.
   void set_training(bool training);
   bool training() const noexcept { return training_; }
+
+  /// Depth-first walk over this module and every descendant. `fn` receives
+  /// each module's dotted path — "" for the root, then the same names
+  /// state_dict keys use ("gru.cell0", "block1.attn.wq", ...). Non-const
+  /// because visitors install runtime state on typed layers (saga::quant
+  /// attaches prepacked int8 weights this way).
+  void for_each_module(
+      const std::function<void(const std::string&, Module&)>& fn,
+      const std::string& prefix = {});
 
  protected:
   Module() = default;

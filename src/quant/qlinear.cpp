@@ -1,0 +1,125 @@
+#include "quant/qlinear.hpp"
+
+#include <set>
+#include <stdexcept>
+#include <string>
+
+#include "nn/gru.hpp"
+#include "nn/linear.hpp"
+#include "nn/module.hpp"
+#include "tensor/tensor.hpp"
+#include "tensor/shape_ops.hpp"
+
+namespace saga::quant {
+
+namespace {
+
+constexpr std::int64_t kKU = 4;  // gemm_s8's k-group depth (A row padding)
+
+}  // namespace
+
+LinearQuant prepare(const QuantBlob& blob) {
+  if (blob.rows <= 0 || blob.cols <= 0 ||
+      blob.values.size() != static_cast<std::size_t>(blob.rows * blob.cols) ||
+      blob.scales.size() != static_cast<std::size_t>(blob.cols)) {
+    throw std::invalid_argument("quant::prepare: malformed QuantBlob");
+  }
+  if (!(blob.act_scale > 0.0F)) {
+    throw std::invalid_argument(
+        "quant::prepare: act_scale is not calibrated (must be > 0)");
+  }
+  LinearQuant q;
+  q.in = blob.rows;
+  q.out = blob.cols;
+  q.act_scale = blob.act_scale;
+  q.packed = gemm::pack_b8(blob.values.data(), blob.rows, blob.cols);
+  q.dequant_scales.resize(static_cast<std::size_t>(blob.cols));
+  q.zero_correction.resize(static_cast<std::size_t>(blob.cols));
+  for (std::int64_t n = 0; n < blob.cols; ++n) {
+    const auto i = static_cast<std::size_t>(n);
+    q.dequant_scales[i] = blob.act_scale * blob.scales[i];
+    q.zero_correction[i] = kActZero * q.packed.col_sums[i];
+  }
+  return q;
+}
+
+Tensor linear_forward(const Tensor& x, const LinearQuant& q) {
+  if (x.dim() != 2 || x.size(1) != q.in) {
+    throw std::invalid_argument(
+        "quant::linear_forward: expected [M, " + std::to_string(q.in) +
+        "] input");
+  }
+  const Tensor flat = x.is_contiguous() ? x : contiguous(x);
+  const std::int64_t m = flat.size(0);
+  const std::int64_t k = q.in;
+  const std::int64_t n = q.out;
+  const std::int64_t k_padded = (k + kKU - 1) / kKU * kKU;
+
+  // Per-thread scratch: quantized activations (rows padded to the k-group
+  // depth so the AVX2 kernel can read whole 4-byte quads) and the raw s32
+  // accumulators. linear_forward runs on the calling thread; gemm_s8's pool
+  // workers only read a_q.
+  thread_local std::vector<std::uint8_t> a_q;
+  thread_local std::vector<std::int32_t> acc;
+  if (static_cast<std::int64_t>(a_q.size()) < m * k_padded) {
+    a_q.resize(static_cast<std::size_t>(m * k_padded));
+  }
+  if (static_cast<std::int64_t>(acc.size()) < m * n) {
+    acc.resize(static_cast<std::size_t>(m * n));
+  }
+  const float* src = flat.data().data();
+  for (std::int64_t i = 0; i < m; ++i) {
+    std::uint8_t* row = a_q.data() + i * k_padded;
+    quantize_activations(src + i * k, k, q.act_scale, row);
+    for (std::int64_t p = k; p < k_padded; ++p) row[p] = 0;
+  }
+
+  gemm::gemm_s8(a_q.data(), k_padded, q.packed, acc.data(), n, m);
+
+  // Dequantizing epilogue: undo the +64 activation offset via the packed
+  // column sums, then apply the folded act*weight scale. Bias joins in the
+  // caller's fused eltwise pass.
+  std::vector<float> y(static_cast<std::size_t>(m * n));
+  for (std::int64_t i = 0; i < m; ++i) {
+    const std::int32_t* arow = acc.data() + i * n;
+    float* yrow = y.data() + i * n;
+    for (std::int64_t j = 0; j < n; ++j) {
+      const auto u = static_cast<std::size_t>(j);
+      yrow[j] = static_cast<float>(arow[j] - q.zero_correction[u]) *
+                q.dequant_scales[u];
+    }
+  }
+  return Tensor::from_data({m, n}, std::move(y), false);
+}
+
+void attach(nn::Module& root, const QuantState& state) {
+  std::set<std::string> consumed;
+  const auto take = [&](const std::string& key)
+      -> std::shared_ptr<const LinearQuant> {
+    const auto it = state.find(key);
+    if (it == state.end()) return nullptr;
+    consumed.insert(key);
+    return std::make_shared<const LinearQuant>(prepare(it->second));
+  };
+  root.for_each_module([&](const std::string& path, nn::Module& module) {
+    const std::string prefix = path.empty() ? "" : path + ".";
+    if (auto* linear = dynamic_cast<nn::Linear*>(&module)) {
+      if (auto q = take(prefix + "weight")) linear->set_quantized(std::move(q));
+    } else if (auto* cell = dynamic_cast<nn::GRUCell*>(&module)) {
+      auto ih = take(prefix + "w_ih");
+      auto hh = take(prefix + "w_hh");
+      if (ih != nullptr || hh != nullptr) {
+        cell->set_quantized(std::move(ih), std::move(hh));
+      }
+    }
+  });
+  for (const auto& [key, blob] : state) {
+    if (consumed.count(key) == 0) {
+      throw std::runtime_error("quant::attach: quantized blob '" + key +
+                               "' matched no Linear/GRUCell in the module "
+                               "tree (name drift?)");
+    }
+  }
+}
+
+}  // namespace saga::quant

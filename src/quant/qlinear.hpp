@@ -1,0 +1,55 @@
+// Runtime form of a quantized linear layer: the prepacked int8 weight plus
+// the folded dequantization constants, and the forward that runs it through
+// the int8 GEMM. nn::Linear / nn::GRUCell hold a shared_ptr to one of these
+// and route their matmul here under NoGrad (training and autograd always use
+// the fp32 weights). The returned activations are fp32 *without* bias — the
+// layer's existing fused eltwise epilogue (bias_add / bias_gelu / gru_cell)
+// runs unchanged on the dequantized output.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "quant/quant.hpp"
+#include "tensor/gemm/gemm_s8.hpp"
+
+namespace saga {
+class Tensor;
+}
+namespace saga::nn {
+class Module;
+}
+
+namespace saga::quant {
+
+struct LinearQuant {
+  std::int64_t in = 0;
+  std::int64_t out = 0;
+  gemm::PackedB8 packed;
+  float act_scale = 1.0F;
+  /// act_scale * weight_scale[n], applied to the offset-corrected s32
+  /// accumulator in the dequantizing epilogue.
+  std::vector<float> dequant_scales;
+  /// kActZero * colsum[n] — the constant the unsigned +64 activation offset
+  /// adds to every accumulator in column n.
+  std::vector<std::int32_t> zero_correction;
+};
+
+/// Packs a QuantBlob for the int8 kernels and folds its scales into the
+/// epilogue constants. The blob's act_scale must be set (calibrated).
+LinearQuant prepare(const QuantBlob& blob);
+
+/// flat [M, in] fp32 -> [M, out] fp32 (bias not applied): quantize the
+/// activations with q.act_scale, run gemm_s8 against the prepacked weights,
+/// dequantize. Exact-integer inside, so outputs are bit-identical across
+/// int8 kernels and thread counts.
+Tensor linear_forward(const Tensor& flat, const LinearQuant& q);
+
+/// Attaches every entry of `state` to the matching nn::Linear ("<path>.weight")
+/// or nn::GRUCell ("<path>.w_ih"/"<path>.w_hh") under `root`, using the same
+/// dotted paths as state_dict. Throws std::runtime_error when a key matches
+/// no module (catching name drift between quantizer and model).
+void attach(nn::Module& root, const QuantState& state);
+
+}  // namespace saga::quant

@@ -1,0 +1,117 @@
+// saga::quant — post-training int8 quantization for the serving path.
+//
+// Scheme (symmetric, zero-point-free on the weight side):
+//   weights      per-output-channel int8: for column n of a [in, out] matrix,
+//                scale_w[n] = absmax(W[:, n]) / 127, q = round(w / scale_w),
+//                clamped to [-127, 127].
+//   activations  per-tensor 7-bit: scale_x = absmax(x) / 63 (absmax recorded
+//                by a calibration pass), q = clamp(round(x / scale_x), -63, 63),
+//                stored unsigned as q + 64 in [1, 127].
+//
+// The 7-bit activation range is what makes the AVX2 maddubs GEMM kernel
+// exact: its u8*s8 byte-pair sums saturate at +-32767, and 127*127*2 = 32258
+// never reaches that, so the scalar and SIMD int8 kernels are bit-identical
+// (see gemm_s8.hpp). The +64 offset is undone in the dequantizing epilogue
+// via the packed per-column weight sums:
+//   y[m, n] = (acc[m, n] - 64 * colsum[n]) * scale_x * scale_w[n]  (+ bias)
+//
+// Calibration: wrap fp32 forwards in a CalibrationScope; nn::Linear and
+// nn::GRUCell report every matmul input through observe(), and the scope
+// records per-(module, slot) absolute maxima that become activation scales.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace saga {
+class Tensor;
+}
+
+namespace saga::quant {
+
+/// Numeric format of an artifact's weight payload. parse_precision rejects
+/// anything else with an error naming the supported formats, so a bundle
+/// from a newer build fails loudly instead of misloading.
+enum class Precision { kFp32, kInt8 };
+
+const char* precision_name(Precision precision);
+Precision parse_precision(const std::string& name);
+
+inline constexpr int kWeightMax = 127;  // int8 symmetric weight range
+inline constexpr int kActMax = 63;      // 7-bit symmetric activation range
+inline constexpr int kActZero = 64;     // unsigned storage offset
+
+/// One quantized weight matrix: row-major [rows, cols] int8 values with a
+/// per-column (= per output channel) scale, plus the per-tensor input
+/// activation scale recorded at calibration time.
+struct QuantBlob {
+  std::int64_t rows = 0;
+  std::int64_t cols = 0;
+  std::vector<std::int8_t> values;
+  std::vector<float> scales;
+  float act_scale = 1.0F;
+
+  bool operator==(const QuantBlob&) const = default;
+};
+
+/// Quantized matrices keyed by their state_dict names ("input_proj.weight",
+/// "gru.cell0.w_ih", ...), un-namespaced like Artifact's fp32 state maps.
+using QuantState = std::map<std::string, QuantBlob>;
+
+/// Per-output-channel symmetric quantization of a row-major [rows, cols]
+/// fp32 matrix. A column's scale is absmax/127; all-zero columns get scale 1
+/// (round-trips exactly), and columns whose absmax underflows the normal
+/// float range are clamped to the smallest normal scale so dequantization
+/// never produces inf/NaN. act_scale is left at its default.
+QuantBlob quantize_weights(const float* w, std::int64_t rows,
+                           std::int64_t cols);
+
+/// fp32 reconstruction w ~= q * scale[col], row-major [rows, cols]. The
+/// round-trip error of quantize->dequantize is at most scale[col]/2 per
+/// element.
+std::vector<float> dequantize_weights(const QuantBlob& blob);
+
+/// Activation scale for a recorded absolute maximum (absmax/63, with the
+/// same zero/underflow handling as weight scales).
+float activation_scale(float absmax);
+
+/// q[i] = clamp(round(x[i] / scale), -63, 63) + 64 — the unsigned 7-bit
+/// input the int8 GEMM consumes.
+void quantize_activations(const float* x, std::int64_t count, float scale,
+                          std::uint8_t* out);
+
+/// x[i] ~= (q[i] - 64) * scale.
+void dequantize_activations(const std::uint8_t* q, std::int64_t count,
+                            float scale, float* out);
+
+// ---- calibration ----------------------------------------------------------
+
+/// RAII recorder of activation ranges on the current thread. While a scope
+/// is alive, fp32 forwards report matmul inputs through observe(); absmax()
+/// then yields the per-(module, slot) maxima. Scopes nest (inner wins, outer
+/// restored on destruction), mirroring the kernel-pin guards.
+class CalibrationScope {
+ public:
+  CalibrationScope();
+  ~CalibrationScope();
+  CalibrationScope(const CalibrationScope&) = delete;
+  CalibrationScope& operator=(const CalibrationScope&) = delete;
+
+  /// Largest |x| observed for (key, slot); 0 when nothing was recorded.
+  float absmax(const void* key, int slot) const;
+  bool observed(const void* key, int slot) const;
+
+ private:
+  friend void observe(const void* key, int slot, const Tensor& x);
+  std::map<std::pair<const void*, int>, float> maxima_;
+  CalibrationScope* previous_;
+};
+
+/// Records |x|'s maximum under the active CalibrationScope; no-op (and
+/// near-free) when no scope is active. `slot` disambiguates multiple matmul
+/// inputs of one module (GRUCell: 0 = x into w_ih, 1 = h into w_hh).
+void observe(const void* key, int slot, const Tensor& x);
+
+}  // namespace saga::quant

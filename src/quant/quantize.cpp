@@ -1,0 +1,139 @@
+#include "quant/quantize.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "nn/gru.hpp"
+#include "nn/linear.hpp"
+#include "quant/quant.hpp"
+#include "tensor/grad_mode.hpp"
+#include "tensor/tensor.hpp"
+
+namespace saga::quant {
+
+namespace {
+
+/// One quantizable matrix discovered in a module tree: the state_dict key it
+/// lives under, the fp32 weight, and the (module, slot) its input activations
+/// are recorded against during calibration.
+struct QuantTarget {
+  std::string key;
+  const Tensor* weight;
+  const void* observe_key;
+  int slot;
+};
+
+std::vector<QuantTarget> collect_targets(nn::Module& root) {
+  std::vector<QuantTarget> targets;
+  root.for_each_module([&](const std::string& path, nn::Module& module) {
+    const std::string prefix = path.empty() ? "" : path + ".";
+    if (const auto* linear = dynamic_cast<const nn::Linear*>(&module)) {
+      targets.push_back({prefix + "weight", &linear->weight(), &module, 0});
+    } else if (const auto* cell = dynamic_cast<const nn::GRUCell*>(&module)) {
+      targets.push_back({prefix + "w_ih", &cell->weight_ih(), &module, 0});
+      targets.push_back({prefix + "w_hh", &cell->weight_hh(), &module, 1});
+    }
+  });
+  return targets;
+}
+
+QuantState quantize_targets(const std::vector<QuantTarget>& targets,
+                            const CalibrationScope& scope,
+                            const std::string& which,
+                            util::NamedBlobs& fp32_state) {
+  QuantState state;
+  for (const QuantTarget& target : targets) {
+    if (!scope.observed(target.observe_key, target.slot)) {
+      throw std::runtime_error(
+          "quantize_artifact: " + which + " matrix '" + target.key +
+          "' was never exercised by the calibration forwards (cannot derive "
+          "an activation scale)");
+    }
+    const Tensor& w = *target.weight;
+    QuantBlob blob = quantize_weights(w.data().data(), w.size(0), w.size(1));
+    blob.act_scale =
+        activation_scale(scope.absmax(target.observe_key, target.slot));
+    fp32_state.erase(target.key);
+    state.emplace(target.key, std::move(blob));
+  }
+  return state;
+}
+
+}  // namespace
+
+serve::Artifact quantize_artifact(
+    const serve::Artifact& fp32,
+    const std::vector<std::vector<float>>& calibration_windows,
+    const QuantizeOptions& options) {
+  if (fp32.precision != Precision::kFp32) {
+    throw std::runtime_error("quantize_artifact: artifact is already " +
+                             std::string(precision_name(fp32.precision)));
+  }
+  if (calibration_windows.empty()) {
+    throw std::invalid_argument(
+        "quantize_artifact: calibration batch is empty");
+  }
+  if (options.batch_size <= 0) {
+    throw std::invalid_argument("quantize_artifact: batch_size must be > 0");
+  }
+  const std::int64_t steps = fp32.window_length();
+  const std::int64_t channels = fp32.channels();
+  const auto window_size = static_cast<std::size_t>(steps * channels);
+  for (const auto& window : calibration_windows) {
+    if (window.size() != window_size) {
+      throw std::invalid_argument(
+          "quantize_artifact: calibration window has " +
+          std::to_string(window.size()) + " values, expected " +
+          std::to_string(window_size));
+    }
+  }
+
+  models::LimuBertBackbone backbone = fp32.make_backbone();
+  models::GruClassifier classifier = fp32.make_classifier();
+  const std::vector<QuantTarget> backbone_targets = collect_targets(backbone);
+  const std::vector<QuantTarget> classifier_targets =
+      collect_targets(classifier);
+
+  // Calibration sweep: the exact serve-path preprocessing (per-channel
+  // normalization) and forward, with activation ranges recorded.
+  CalibrationScope scope;
+  {
+    NoGradGuard no_grad;
+    const auto total = static_cast<std::int64_t>(calibration_windows.size());
+    for (std::int64_t start = 0; start < total;
+         start += options.batch_size) {
+      const std::int64_t batch =
+          std::min(options.batch_size, total - start);
+      std::vector<float> packed;
+      packed.reserve(static_cast<std::size_t>(batch) * window_size);
+      for (std::int64_t b = 0; b < batch; ++b) {
+        const auto& window =
+            calibration_windows[static_cast<std::size_t>(start + b)];
+        if (fp32.norm_mean.empty()) {
+          packed.insert(packed.end(), window.begin(), window.end());
+        } else {
+          for (std::size_t i = 0; i < window.size(); ++i) {
+            const auto c = i % static_cast<std::size_t>(channels);
+            packed.push_back((window[i] - fp32.norm_mean[c]) /
+                             fp32.norm_scale[c]);
+          }
+        }
+      }
+      const Tensor inputs =
+          Tensor::from_data({batch, steps, channels}, std::move(packed), false);
+      classifier.forward(backbone.encode(inputs));
+    }
+  }
+
+  serve::Artifact quantized = fp32;
+  quantized.backbone_quant = quantize_targets(
+      backbone_targets, scope, "backbone", quantized.backbone_state);
+  quantized.classifier_quant = quantize_targets(
+      classifier_targets, scope, "classifier", quantized.classifier_state);
+  quantized.precision = Precision::kInt8;
+  return quantized;
+}
+
+}  // namespace saga::quant

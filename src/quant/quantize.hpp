@@ -1,0 +1,33 @@
+// Artifact-level post-training quantization: fp32 serve::Artifact in,
+// int8 serve::Artifact out. The calibration batch drives one fp32 forward
+// sweep whose recorded activation ranges become the static per-tensor
+// activation scales; weights are quantized per output channel. The result
+// saves as a v3 manifest and serves through the int8 GEMM path.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "serve/artifact.hpp"
+
+namespace saga::quant {
+
+struct QuantizeOptions {
+  /// Windows per calibration forward (memory/latency knob; the recorded
+  /// ranges are batch-size independent).
+  std::int64_t batch_size = 64;
+};
+
+/// Quantizes every Linear/GRUCell weight matrix of `fp32`'s backbone and
+/// classifier. `calibration_windows` are raw windows (window_length x
+/// channels floats each, un-normalized — the artifact's normalization stats
+/// are applied exactly as serve::Engine applies them). Throws
+/// std::invalid_argument on an empty batch or wrong-sized windows, and
+/// std::runtime_error if `fp32` is already quantized or a quantizable layer
+/// is never exercised by the calibration forwards.
+serve::Artifact quantize_artifact(
+    const serve::Artifact& fp32,
+    const std::vector<std::vector<float>>& calibration_windows,
+    const QuantizeOptions& options = {});
+
+}  // namespace saga::quant

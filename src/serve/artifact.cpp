@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "quant/qlinear.hpp"
+
 namespace saga::serve {
 
 namespace {
@@ -58,6 +60,73 @@ std::string norm_stats_error(const std::vector<float>& mean,
   return {};
 }
 
+// Manifest key scheme for quantized matrices (":q8" cannot collide with
+// state_dict names, which never contain a colon):
+//   byte_blobs["<ns>.<key>:q8"]       int8 values, row-major [rows, cols]
+//   blobs["<ns>.<key>:q8.scales"]     per-output-channel scales ([cols])
+//   metadata["<ns>.<key>:q8.rows"]    row count (cols = scales length)
+//   metadata["<ns>.<key>:q8.act_scale"] calibrated input activation scale
+constexpr const char* kQuantSuffix = ":q8";
+
+void write_quant_section(util::Manifest& manifest, const std::string& ns,
+                         const quant::QuantState& state) {
+  for (const auto& [key, blob] : state) {
+    const std::string base = ns + "." + key + kQuantSuffix;
+    manifest.byte_blobs[base] = blob.values;
+    manifest.blobs[base + ".scales"] = blob.scales;
+    manifest.metadata[base + ".rows"] = std::to_string(blob.rows);
+    manifest.metadata[base + ".act_scale"] = fmt_double(blob.act_scale);
+  }
+}
+
+/// Extracts the "<ns>.*:q8" quantized matrices out of `manifest`, removing
+/// the consumed blobs so the later fp32 take_namespace pass never sees them.
+quant::QuantState take_quant_namespace(util::Manifest& manifest,
+                                       const std::string& ns,
+                                       const std::string& path) {
+  quant::QuantState state;
+  const std::string prefix = ns + '.';
+  const std::string suffix = kQuantSuffix;
+  for (auto it = manifest.byte_blobs.begin();
+       it != manifest.byte_blobs.end();) {
+    const std::string& full = it->first;
+    if (full.size() <= prefix.size() + suffix.size() ||
+        full.compare(0, prefix.size(), prefix) != 0 ||
+        full.compare(full.size() - suffix.size(), suffix.size(), suffix) !=
+            0) {
+      ++it;
+      continue;
+    }
+    const std::string key = full.substr(
+        prefix.size(), full.size() - prefix.size() - suffix.size());
+    auto fail = [&](const std::string& what) {
+      throw std::runtime_error("artifact: quantized matrix '" + prefix + key +
+                               "' in " + path + ": " + what);
+    };
+    quant::QuantBlob blob;
+    blob.rows = manifest.require_int(full + ".rows");
+    const auto scales = manifest.blobs.find(full + ".scales");
+    if (scales == manifest.blobs.end()) fail("missing per-channel scales");
+    blob.scales = scales->second;
+    blob.cols = static_cast<std::int64_t>(blob.scales.size());
+    blob.act_scale =
+        static_cast<float>(manifest.require_double(full + ".act_scale"));
+    blob.values = std::move(it->second);
+    if (blob.rows <= 0 || blob.cols <= 0) fail("non-positive shape");
+    if (blob.values.size() !=
+        static_cast<std::size_t>(blob.rows * blob.cols)) {
+      fail("has " + std::to_string(blob.values.size()) +
+           " values but expects " + std::to_string(blob.rows) + "x" +
+           std::to_string(blob.cols));
+    }
+    if (!(blob.act_scale > 0.0F)) fail("activation scale is not positive");
+    manifest.blobs.erase(scales);
+    it = manifest.byte_blobs.erase(it);
+    state.emplace(key, std::move(blob));
+  }
+  return state;
+}
+
 void validate(const Artifact& artifact, const std::string& origin) {
   const auto& bc = artifact.backbone_config;
   const auto& cc = artifact.classifier_config;
@@ -85,18 +154,51 @@ void validate(const Artifact& artifact, const std::string& origin) {
   if (artifact.classifier_state.empty()) fail("no classifier weights");
 
   // Shape spot-checks that turn silent weight/config drift into clear
-  // errors before load_state_dict's per-parameter diagnostics.
-  const auto proj = artifact.backbone_state.find("input_proj.weight");
-  if (proj == artifact.backbone_state.end()) {
-    fail("backbone weights missing input_proj.weight");
-  }
-  const auto expected_proj =
-      static_cast<std::size_t>(bc.hidden_dim * bc.input_channels);
-  if (proj->second.size() != expected_proj) {
-    fail("channel count mismatch: input_proj.weight has " +
-         std::to_string(proj->second.size()) + " values but config expects " +
-         std::to_string(bc.hidden_dim) + "x" + std::to_string(bc.input_channels) +
-         " (hidden_dim x input_channels)");
+  // errors before load_state_dict's per-parameter diagnostics. On int8
+  // artifacts the projection matrix lives in the quantized state instead.
+  if (artifact.precision == quant::Precision::kFp32) {
+    if (!artifact.backbone_quant.empty() ||
+        !artifact.classifier_quant.empty()) {
+      fail("fp32 artifact carries quantized weight blobs");
+    }
+    const auto proj = artifact.backbone_state.find("input_proj.weight");
+    if (proj == artifact.backbone_state.end()) {
+      fail("backbone weights missing input_proj.weight");
+    }
+    const auto expected_proj =
+        static_cast<std::size_t>(bc.hidden_dim * bc.input_channels);
+    if (proj->second.size() != expected_proj) {
+      fail("channel count mismatch: input_proj.weight has " +
+           std::to_string(proj->second.size()) + " values but config expects " +
+           std::to_string(bc.hidden_dim) + "x" + std::to_string(bc.input_channels) +
+           " (hidden_dim x input_channels)");
+    }
+  } else {
+    const auto proj = artifact.backbone_quant.find("input_proj.weight");
+    if (proj == artifact.backbone_quant.end()) {
+      fail("quantized backbone weights missing input_proj.weight");
+    }
+    if (proj->second.rows != bc.input_channels ||
+        proj->second.cols != bc.hidden_dim) {
+      fail("channel count mismatch: quantized input_proj.weight is [" +
+           std::to_string(proj->second.rows) + ", " +
+           std::to_string(proj->second.cols) + "] but config expects [" +
+           std::to_string(bc.input_channels) + ", " +
+           std::to_string(bc.hidden_dim) +
+           "] (input_channels x hidden_dim)");
+    }
+    for (const auto* state :
+         {&artifact.backbone_quant, &artifact.classifier_quant}) {
+      for (const auto& [key, blob] : *state) {
+        if (blob.rows <= 0 || blob.cols <= 0 ||
+            blob.values.size() !=
+                static_cast<std::size_t>(blob.rows * blob.cols) ||
+            blob.scales.size() != static_cast<std::size_t>(blob.cols) ||
+            !(blob.act_scale > 0.0F)) {
+          fail("malformed quantized matrix '" + key + "'");
+        }
+      }
+    }
   }
   const auto out_bias = artifact.classifier_state.find("output.bias");
   if (out_bias == artifact.classifier_state.end()) {
@@ -178,6 +280,15 @@ void Artifact::save(const std::string& path) const {
   meta["classifier.gru_hidden"] = std::to_string(classifier_config.gru_hidden);
   meta["classifier.gru_layers"] = std::to_string(classifier_config.gru_layers);
   meta["classifier.num_classes"] = std::to_string(classifier_config.num_classes);
+  // Written only for non-fp32 payloads: fp32 bundles keep their historical
+  // byte-identical v2 form (guarded by the golden fixtures), and an old
+  // build opening a v3 bundle fails in the serialize layer with a clear
+  // unsupported-version error before ever reaching this key.
+  if (precision != quant::Precision::kFp32) {
+    meta["precision"] = quant::precision_name(precision);
+    write_quant_section(manifest, "backbone", backbone_quant);
+    write_quant_section(manifest, "classifier", classifier_quant);
+  }
 
   for (const auto& [key, values] : backbone_state) {
     manifest.blobs["backbone." + key] = values;
@@ -232,6 +343,22 @@ Artifact Artifact::load(const std::string& path) {
   cc.gru_layers = manifest.require_int("classifier.gru_layers");
   cc.num_classes = manifest.require_int("classifier.num_classes");
 
+  if (const auto it = manifest.metadata.find("precision");
+      it != manifest.metadata.end()) {
+    try {
+      artifact.precision = quant::parse_precision(it->second);
+    } catch (const std::exception& e) {
+      throw std::runtime_error("artifact: " + std::string(e.what()) + " in " +
+                               path);
+    }
+  }
+  if (artifact.precision != quant::Precision::kFp32) {
+    // Consumes the ":q8" entries before take_namespace sweeps what is left
+    // into the fp32 state maps.
+    artifact.backbone_quant = take_quant_namespace(manifest, "backbone", path);
+    artifact.classifier_quant =
+        take_quant_namespace(manifest, "classifier", path);
+  }
   artifact.backbone_state = take_namespace(manifest.blobs, "backbone");
   artifact.classifier_state = take_namespace(manifest.blobs, "classifier");
   const auto mean = manifest.blobs.find("norm.mean");
@@ -250,16 +377,42 @@ Artifact Artifact::load(const std::string& path) {
   return artifact;
 }
 
+namespace {
+
+/// int8 load path: reconstruct fp32 parameter values for the strict
+/// load_state_dict (and any fp32 consumer), then attach the prepacked int8
+/// weights so NoGrad forwards run the quantized GEMM.
+template <typename Model>
+void load_quantized(Model& model, const util::NamedBlobs& fp32_state,
+                    const quant::QuantState& quant_state) {
+  util::NamedBlobs state = fp32_state;
+  for (const auto& [key, blob] : quant_state) {
+    state[key] = quant::dequantize_weights(blob);
+  }
+  model.load_state_dict(state);
+  quant::attach(model, quant_state);
+}
+
+}  // namespace
+
 models::LimuBertBackbone Artifact::make_backbone() const {
   models::LimuBertBackbone backbone(backbone_config);
-  backbone.load_state_dict(backbone_state);
+  if (precision == quant::Precision::kFp32) {
+    backbone.load_state_dict(backbone_state);
+  } else {
+    load_quantized(backbone, backbone_state, backbone_quant);
+  }
   backbone.set_training(false);
   return backbone;
 }
 
 models::GruClassifier Artifact::make_classifier() const {
   models::GruClassifier classifier(classifier_config);
-  classifier.load_state_dict(classifier_state);
+  if (precision == quant::Precision::kFp32) {
+    classifier.load_state_dict(classifier_state);
+  } else {
+    load_quantized(classifier, classifier_state, classifier_quant);
+  }
   classifier.set_training(false);
   return classifier;
 }

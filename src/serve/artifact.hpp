@@ -5,9 +5,11 @@
 // backbone + classifier weights (namespaced "backbone.*" / "classifier.*" via
 // nn::Module::state_dict prefixes), both model configs, the downstream task,
 // provenance, and optional per-channel normalization stats for raw inputs.
-// It is saved as a util::serialize v2 manifest, so a saved artifact is
-// loadable with no out-of-band knowledge of its architecture — the paper's
-// §VII-D2 on-device story (our stand-in for an ONNX export).
+// It is saved as a util::serialize manifest (v2 for fp32 bundles; v3 when
+// the weights are int8-quantized, with the byte payloads and per-channel
+// scales in the v3 sections), so a saved artifact is loadable with no
+// out-of-band knowledge of its architecture — the paper's §VII-D2 on-device
+// story (our stand-in for an ONNX export).
 //
 // Consumes: trained models (or a Pipeline's last run). Produces: a manifest
 // file, or freshly constructed models with the stored weights loaded.
@@ -25,6 +27,7 @@
 #include "data/dataset.hpp"
 #include "models/backbone.hpp"
 #include "models/classifier.hpp"
+#include "quant/quant.hpp"
 #include "util/serialize.hpp"
 
 namespace saga::serve {
@@ -41,9 +44,19 @@ struct Artifact {
   std::vector<float> norm_mean;
   std::vector<float> norm_scale;
   /// Model weights with un-namespaced keys (as each module's state_dict()
-  /// with no prefix produces them).
+  /// with no prefix produces them). On int8 artifacts these hold only the
+  /// matrices that stay fp32 (biases, layer norms, positional embedding).
   util::NamedBlobs backbone_state;
   util::NamedBlobs classifier_state;
+  /// Weight payload format. kInt8 bundles carry the Linear/GRU matrices as
+  /// per-channel int8 (below) and save as a v3 manifest; kFp32 keeps the
+  /// byte-identical v2 layout. Loading a precision this build doesn't know
+  /// fails with a clear error naming the supported formats.
+  quant::Precision precision = quant::Precision::kFp32;
+  /// Quantized matrices (keyed like the fp32 state maps) when precision is
+  /// kInt8; produced by quant::quantize_artifact.
+  quant::QuantState backbone_quant;
+  quant::QuantState classifier_quant;
 
   // ---- construction --------------------------------------------------
   /// Bundles already-trained models.
@@ -68,9 +81,19 @@ struct Artifact {
   static Artifact load(const std::string& path);
 
   // ---- consumption ---------------------------------------------------
-  /// Fresh models with the stored weights loaded, in eval mode.
+  /// Fresh models with the stored weights loaded, in eval mode. On int8
+  /// artifacts the models additionally carry the prepacked quantized
+  /// weights, so every NoGrad forward (serve::Engine, train::evaluate) runs
+  /// the int8 GEMM path; the fp32 parameters hold the dequantized values
+  /// for everything else.
   models::LimuBertBackbone make_backbone() const;
   models::GruClassifier make_classifier() const;
+
+  /// util::serialize format generation save() will emit: 2 (fp32 blobs) or
+  /// 3 (int8 byte blobs + scales).
+  std::int64_t manifest_version() const noexcept {
+    return precision == quant::Precision::kFp32 ? 2 : 3;
+  }
 
   std::int64_t window_length() const noexcept {
     return backbone_config.max_seq_len;

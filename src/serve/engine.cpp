@@ -69,11 +69,14 @@ Engine::Engine(Artifact artifact, EngineConfig config)
       config_(checked(config)),
       backbone_(artifact_.make_backbone()),
       classifier_(artifact_.make_classifier()) {
-  // The models now hold the only live copy of the weights; dropping the
-  // artifact's blobs halves the engine's resident model memory. Metadata
-  // (configs, task, provenance, normalization stats) stays queryable.
+  // The models now hold the only live copy of the weights (including the
+  // prepacked int8 form on quantized artifacts); dropping the artifact's
+  // blobs halves the engine's resident model memory. Metadata (configs,
+  // task, precision, provenance, normalization stats) stays queryable.
   artifact_.backbone_state.clear();
   artifact_.classifier_state.clear();
+  artifact_.backbone_quant.clear();
+  artifact_.classifier_quant.clear();
   warm_up();
   dispatcher_ = std::thread([this] { dispatch_loop(); });
 }

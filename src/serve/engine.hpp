@@ -338,6 +338,10 @@ class Engine {
   /// Its weight blobs are released after model construction to halve
   /// resident memory, so backbone_state/classifier_state are empty here.
   const Artifact& artifact() const noexcept { return artifact_; }
+  /// Numeric format the forwards run in, selected by the artifact: int8
+  /// artifacts serve through the quantized GEMM path (make_backbone attaches
+  /// the prepacked weights), fp32 through the float one.
+  quant::Precision precision() const noexcept { return artifact_.precision; }
   const EngineConfig& config() const noexcept { return config_; }
   EngineStats stats() const;
 

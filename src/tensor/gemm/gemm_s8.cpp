@@ -1,0 +1,270 @@
+// int8 GEMM driver: runtime kernel dispatch, B prepacking, and the scalar
+// reference. Unlike the fp32 driver there is no KC/NC cache blocking: the
+// serve-path shapes keep a full packed B panel (ceil(K/4)*32 bytes, ~4 KiB at
+// K=512) resident in L1, and skipping the blocking keeps the accumulation
+// order trivially fixed. Threads split only the M dimension; integer math
+// makes every split bit-identical anyway.
+#include "tensor/gemm/gemm_s8.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "tensor/gemm/microkernel_s8.hpp"
+#include "util/env.hpp"
+#include "util/thread_pool.hpp"
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#include <cpuid.h>
+#endif
+
+namespace saga::gemm {
+
+namespace {
+
+using detail::kKU8;
+using detail::kMR8;
+using detail::kNR8;
+
+// Work below this many multiply-adds runs serially (same threshold as the
+// fp32 driver).
+constexpr std::int64_t kParallelThreshold = 1 << 15;
+
+bool compiled_with_int8_avx2() {
+  return detail::avx2_s8_microkernel() != nullptr;
+}
+
+bool cpu_has_avx2() {
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+  return __builtin_cpu_supports("avx2");
+#else
+  return false;
+#endif
+}
+
+// SAGA_FORCE_SCALAR_GEMM pins the int8 path along with the fp32 one: a
+// forced-scalar test run should exercise no SIMD GEMM of any precision.
+bool force_scalar() {
+  static const bool forced = util::env_int("SAGA_FORCE_SCALAR_GEMM", 0) != 0;
+  return forced;
+}
+
+// Per-thread test/bench pin installed by ForceInt8KernelGuard.
+thread_local Int8Kernel t_forced = Int8Kernel::kAuto;
+
+Int8Kernel resolve_auto() {
+  if (t_forced != Int8Kernel::kAuto) return t_forced;
+  static const bool avx2_ok = cpu_supports_int8_avx2() && !force_scalar();
+  return avx2_ok ? Int8Kernel::kAvx2 : Int8Kernel::kScalar;
+}
+
+bool kernel_available(Int8Kernel kernel) {
+  switch (kernel) {
+    case Int8Kernel::kAuto:
+    case Int8Kernel::kScalar:
+      return true;
+    case Int8Kernel::kAvx2:
+      return cpu_supports_int8_avx2() && !force_scalar();
+  }
+  return false;
+}
+
+// Scalar reference: exact triple loop reading B through the packed layout
+// (so a packing bug cannot hide behind a matching reference). Accumulation
+// order is irrelevant — integer addition is associative — which is what lets
+// this be bit-identical to the SIMD kernel.
+void scalar_range(const std::uint8_t* a, std::int64_t lda, const PackedB8& b,
+                  std::int32_t* c, std::int64_t ldc, std::int64_t m0,
+                  std::int64_t m1) {
+  const std::int64_t groups = (b.k + kKU8 - 1) / kKU8;
+  for (std::int64_t i = m0; i < m1; ++i) {
+    const std::uint8_t* arow = a + i * lda;
+    std::int32_t* crow = c + i * ldc;
+    for (std::int64_t jp = 0; jp < b.n; jp += kNR8) {
+      const std::int8_t* panel = b.data.data() + (jp / kNR8) * groups * kNR8 * kKU8;
+      const std::int64_t nr = std::min(kNR8, b.n - jp);
+      for (std::int64_t jc = 0; jc < nr; ++jc) {
+        std::int32_t acc = 0;
+        for (std::int64_t p = 0; p < b.k; ++p) {
+          const std::int8_t bv =
+              panel[(p / kKU8) * kNR8 * kKU8 + jc * kKU8 + p % kKU8];
+          acc += static_cast<std::int32_t>(arow[p]) *
+                 static_cast<std::int32_t>(bv);
+        }
+        crow[jp + jc] = acc;
+      }
+    }
+  }
+}
+
+// AVX2 path over a row range. The kernel reads A in 4-byte k-groups, so rows
+// whose stride cannot cover the padded depth are repacked into a padded
+// per-thread buffer first (pad bytes multiply the zero-padded B tail, so
+// their value is irrelevant).
+void avx2_range(const std::uint8_t* a, std::int64_t lda, const PackedB8& b,
+                std::int32_t* c, std::int64_t ldc, std::int64_t m0,
+                std::int64_t m1, detail::Int8MicroKernelFn kern) {
+  const std::int64_t groups = (b.k + kKU8 - 1) / kKU8;
+  const std::int64_t k_padded = groups * kKU8;
+  thread_local std::vector<std::uint8_t> a_pad;
+  const std::uint8_t* a_base = a + m0 * lda;
+  std::int64_t a_stride = lda;
+  if (lda < k_padded) {
+    const std::int64_t rows = m1 - m0;
+    if (static_cast<std::int64_t>(a_pad.size()) < rows * k_padded) {
+      a_pad.resize(static_cast<std::size_t>(rows * k_padded));
+    }
+    for (std::int64_t i = 0; i < rows; ++i) {
+      std::uint8_t* dst = a_pad.data() + i * k_padded;
+      std::copy(a + (m0 + i) * lda, a + (m0 + i) * lda + b.k, dst);
+      std::fill(dst + b.k, dst + k_padded, std::uint8_t{0});
+    }
+    a_base = a_pad.data();
+    a_stride = k_padded;
+  }
+  for (std::int64_t ir = m0; ir < m1; ir += kMR8) {
+    const std::int64_t mr = std::min(kMR8, m1 - ir);
+    const std::uint8_t* a_rows = a_base + (ir - m0) * a_stride;
+    for (std::int64_t jp = 0; jp < b.n; jp += kNR8) {
+      const std::int8_t* panel = b.data.data() + (jp / kNR8) * groups * kNR8 * kKU8;
+      const std::int64_t nr = std::min(kNR8, b.n - jp);
+      kern(groups, a_rows, a_stride, panel, c + ir * ldc + jp, ldc, mr, nr);
+    }
+  }
+}
+
+void check_a_range(const std::uint8_t* a, std::int64_t lda, std::int64_t m,
+                   std::int64_t k) {
+  for (std::int64_t i = 0; i < m; ++i) {
+    const std::uint8_t* row = a + i * lda;
+    for (std::int64_t p = 0; p < k; ++p) {
+      if (row[p] > 127) {
+        throw std::invalid_argument(
+            "gemm_s8: A value " + std::to_string(int{row[p]}) +
+            " exceeds the 7-bit activation range (0..127); the maddubs "
+            "kernel's int16 intermediates would saturate (see gemm_s8.hpp)");
+      }
+    }
+  }
+}
+
+}  // namespace
+
+bool cpu_supports_int8_avx2() {
+  return compiled_with_int8_avx2() && cpu_has_avx2();
+}
+
+bool cpu_supports_avx2_vnni() {
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+  unsigned eax = 0, ebx = 0, ecx = 0, edx = 0;
+  if (__get_cpuid_count(7, 1, &eax, &ebx, &ecx, &edx) == 0) return false;
+  return (eax & (1U << 4)) != 0;  // AVX-VNNI
+#else
+  return false;
+#endif
+}
+
+bool cpu_supports_avx512_vnni() {
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+  unsigned eax = 0, ebx = 0, ecx = 0, edx = 0;
+  if (__get_cpuid_count(7, 0, &eax, &ebx, &ecx, &edx) == 0) return false;
+  return (ecx & (1U << 11)) != 0;  // AVX512_VNNI
+#else
+  return false;
+#endif
+}
+
+std::vector<Int8Kernel> available_int8_kernels() {
+  std::vector<Int8Kernel> kernels{Int8Kernel::kScalar};
+  if (kernel_available(Int8Kernel::kAvx2)) kernels.push_back(Int8Kernel::kAvx2);
+  return kernels;
+}
+
+std::string int8_kernel_name(Int8Kernel kernel) {
+  if (kernel == Int8Kernel::kAuto) kernel = resolve_auto();
+  return kernel == Int8Kernel::kAvx2 ? "avx2-maddubs" : "scalar";
+}
+
+ForceInt8KernelGuard::ForceInt8KernelGuard(Int8Kernel kernel)
+    : previous_(t_forced) {
+  if (!kernel_available(kernel)) {
+    throw std::runtime_error("gemm_s8: cannot force kernel '" +
+                             int8_kernel_name(kernel) +
+                             "': not available on this host");
+  }
+  t_forced = kernel;
+}
+
+ForceInt8KernelGuard::~ForceInt8KernelGuard() { t_forced = previous_; }
+
+PackedB8 pack_b8(const std::int8_t* b, std::int64_t k, std::int64_t n) {
+  PackedB8 packed;
+  packed.k = k;
+  packed.n = n;
+  const std::int64_t groups = (k + kKU8 - 1) / kKU8;
+  const std::int64_t panels = (n + kNR8 - 1) / kNR8;
+  packed.data.assign(static_cast<std::size_t>(panels * groups * kNR8 * kKU8),
+                     std::int8_t{0});
+  packed.col_sums.assign(static_cast<std::size_t>(n), 0);
+  for (std::int64_t jp = 0; jp < n; jp += kNR8) {
+    std::int8_t* panel = packed.data.data() + (jp / kNR8) * groups * kNR8 * kKU8;
+    const std::int64_t cols = std::min(kNR8, n - jp);
+    for (std::int64_t p = 0; p < k; ++p) {
+      std::int8_t* group = panel + (p / kKU8) * kNR8 * kKU8;
+      for (std::int64_t c = 0; c < cols; ++c) {
+        const std::int8_t value = b[p * n + jp + c];
+        group[c * kKU8 + p % kKU8] = value;
+        packed.col_sums[static_cast<std::size_t>(jp + c)] += value;
+      }
+    }
+  }
+  return packed;
+}
+
+void gemm_s8(const std::uint8_t* a, std::int64_t lda, const PackedB8& b,
+             std::int32_t* c, std::int64_t ldc, std::int64_t m,
+             Int8Kernel kernel, bool parallel) {
+  if (m <= 0 || b.n <= 0) return;
+  if (b.k <= 0) {
+    for (std::int64_t i = 0; i < m; ++i) {
+      std::fill(c + i * ldc, c + i * ldc + b.n, 0);
+    }
+    return;
+  }
+  if (!kernel_available(kernel)) {
+    throw std::runtime_error(
+        "gemm_s8: AVX2 kernel requested but not available (unsupported "
+        "CPU/build, or SAGA_FORCE_SCALAR_GEMM=1)");
+  }
+  check_a_range(a, lda, m, b.k);
+  const Int8Kernel resolved =
+      kernel == Int8Kernel::kAuto ? resolve_auto() : kernel;
+  detail::Int8MicroKernelFn kern = resolved == Int8Kernel::kAvx2
+                                       ? detail::avx2_s8_microkernel()
+                                       : nullptr;
+  const auto run_range = [&](std::int64_t lo, std::int64_t hi) {
+    if (kern == nullptr) {
+      scalar_range(a, lda, b, c, ldc, lo, hi);
+    } else {
+      avx2_range(a, lda, b, c, ldc, lo, hi, kern);
+    }
+  };
+
+  const std::size_t threads = util::ThreadPool::global().size();
+  const std::int64_t work = m * b.n * b.k;
+  if (!parallel || work < kParallelThreshold || m == 1 || threads <= 1) {
+    run_range(0, m);
+    return;
+  }
+  const std::int64_t chunk =
+      std::max<std::int64_t>(1, (m + static_cast<std::int64_t>(threads) - 1) /
+                                    static_cast<std::int64_t>(threads));
+  const std::int64_t num_chunks = (m + chunk - 1) / chunk;
+  util::ThreadPool::global().parallel_for(
+      0, static_cast<std::size_t>(num_chunks), [&](std::size_t ci) {
+        const std::int64_t lo = static_cast<std::int64_t>(ci) * chunk;
+        const std::int64_t hi = std::min(m, lo + chunk);
+        run_range(lo, hi);
+      });
+}
+
+}  // namespace saga::gemm

@@ -1,0 +1,96 @@
+// saga::gemm int8 path — u8 x s8 -> s32 GEMM for quantized inference.
+//
+// C[M,N] = A[M,K] x B[K,N], A unsigned 8-bit (quantized activations), B
+// signed 8-bit (quantized weights, prepacked once per matrix at load time),
+// C raw int32 accumulators. Dequantization is the caller's epilogue
+// (saga::quant applies per-channel scales and folds the bias add into the
+// fused eltwise path).
+//
+// Saturation contract: the AVX2 kernel accumulates byte-pair products with
+// `_mm256_maddubs_epi16`, whose pairwise u8*s8 + u8*s8 sum saturates at
+// +-32767. A is therefore REQUIRED to hold 7-bit values (0..127): the worst
+// pair is then 127*127*2 = 32258 < 32767, so no intermediate ever saturates
+// and every kernel computes the exact integer product. saga::quant produces
+// exactly this range (symmetric 7-bit activations stored with a +64 offset);
+// the driver rejects out-of-range A with std::invalid_argument rather than
+// silently returning kernel-dependent results. A future VNNI kernel
+// (vpdpbusd accumulates straight to s32) lifts the restriction — the
+// cpu_supports_*_vnni() probes below are its dispatch seam.
+//
+// Determinism contract: integer accumulation is exact, so results are
+// bit-identical across kernels, thread counts, and M-splits — stronger than
+// the fp32 GEMM contract (which is per-kernel only).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace saga::gemm {
+
+/// Kernel selector for the int8 path. `kAuto` resolves at runtime: the AVX2
+/// maddubs kernel when the CPU and build support it, a ForceInt8KernelGuard
+/// is not pinning, and SAGA_FORCE_SCALAR_GEMM is unset; else the portable
+/// scalar reference.
+enum class Int8Kernel { kAuto, kScalar, kAvx2 };
+
+/// True when this build contains the maddubs micro-kernel and the CPU
+/// reports AVX2. Ignores SAGA_FORCE_SCALAR_GEMM and guard pins.
+bool cpu_supports_int8_avx2();
+
+/// CPUID probes for the VNNI dot-product extensions (AVX-VNNI: leaf 7.1 EAX
+/// bit 4; AVX512_VNNI: leaf 7.0 ECX bit 11). No VNNI kernel exists yet;
+/// examples/gemm_info prints these in every CI job so the follow-up kernel
+/// has its dispatch seam ready.
+bool cpu_supports_avx2_vnni();
+bool cpu_supports_avx512_vnni();
+
+/// Kernels `gemm_s8` will accept on this host, honoring the per-thread
+/// ForceInt8KernelGuard pin and SAGA_FORCE_SCALAR_GEMM (read once per
+/// process). Always contains kScalar.
+std::vector<Int8Kernel> available_int8_kernels();
+
+/// Human-readable name of `kernel`, with kAuto resolved to the kernel the
+/// dispatcher would pick ("avx2-maddubs" or "scalar").
+std::string int8_kernel_name(Int8Kernel kernel = Int8Kernel::kAuto);
+
+/// RAII pin of int8 dispatch for the current thread (mirrors
+/// eltwise::ForceKernelGuard): while alive, kAuto resolves to `kernel`.
+/// Nestable; restores the previous pin on destruction. Throws
+/// std::runtime_error if `kernel` is not available on this host.
+class ForceInt8KernelGuard {
+ public:
+  explicit ForceInt8KernelGuard(Int8Kernel kernel);
+  ~ForceInt8KernelGuard();
+  ForceInt8KernelGuard(const ForceInt8KernelGuard&) = delete;
+  ForceInt8KernelGuard& operator=(const ForceInt8KernelGuard&) = delete;
+
+ private:
+  Int8Kernel previous_;
+};
+
+/// B[K,N] prepacked for the int8 kernels (layout in microkernel_s8.hpp),
+/// plus per-column sums of the signed weights — the dequantizing epilogue
+/// needs sum_p B[p,n] to undo the +64 offset baked into unsigned A:
+///   (sum_p (qa+64) * qb) - 64 * col_sum = sum_p qa * qb.
+struct PackedB8 {
+  std::int64_t k = 0;
+  std::int64_t n = 0;
+  std::vector<std::int8_t> data;
+  std::vector<std::int32_t> col_sums;
+};
+
+/// Packs row-major `b` [K,N] once; the result is immutable and shared by
+/// every subsequent gemm_s8 call (weights are packed at artifact load).
+PackedB8 pack_b8(const std::int8_t* b, std::int64_t k, std::int64_t n);
+
+/// C[M,N] = A[M,K] x B. `lda`/`ldc` are row strides of A and C. A must hold
+/// 7-bit values (see the saturation contract above; violations throw
+/// std::invalid_argument). `parallel=false` forces the single-threaded path;
+/// results are bit-identical either way. Requesting a kernel not in
+/// available_int8_kernels() throws std::runtime_error.
+void gemm_s8(const std::uint8_t* a, std::int64_t lda, const PackedB8& b,
+             std::int32_t* c, std::int64_t ldc, std::int64_t m,
+             Int8Kernel kernel = Int8Kernel::kAuto, bool parallel = true);
+
+}  // namespace saga::gemm

@@ -1,0 +1,69 @@
+// AVX2 maddubs int8 micro-kernel: 8 rows x 8 columns of s32 accumulators.
+// Like kernel_avx2.cpp this translation unit is compiled with -mavx2 (see
+// CMakeLists); the rest of the library stays baseline-ISA and the driver
+// only dispatches here after a CPUID check.
+//
+// Per k-group: one 32-byte B load covers 8 columns x 4 depths; each row
+// broadcasts its 4 activation bytes, `_mm256_maddubs_epi16` forms the u8*s8
+// byte-pair sums (exact — A is 7-bit, so |pair| <= 32258 < 32767), and
+// `_mm256_madd_epi16` against ones folds the pairs into the s32 accumulator.
+// 32 multiply-adds per row-instruction-pair vs 8 for the fp32 FMA kernel.
+#include "tensor/gemm/microkernel_s8.hpp"
+
+#if defined(__AVX2__)
+
+#include <immintrin.h>
+
+#include <cstring>
+
+namespace saga::gemm::detail {
+
+namespace {
+
+void kernel_s8_avx2_8x8(std::int64_t kc_groups, const std::uint8_t* a,
+                        std::int64_t lda, const std::int8_t* b_panel,
+                        std::int32_t* c, std::int64_t ldc, std::int64_t mr,
+                        std::int64_t nr) {
+  const __m256i ones = _mm256_set1_epi16(1);
+  __m256i acc[kMR8];
+  for (std::int64_t r = 0; r < mr; ++r) acc[r] = _mm256_setzero_si256();
+  for (std::int64_t g = 0; g < kc_groups; ++g) {
+    const __m256i bvec = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(b_panel + g * kNR8 * kKU8));
+    for (std::int64_t r = 0; r < mr; ++r) {
+      std::int32_t quad;
+      std::memcpy(&quad, a + r * lda + g * kKU8, sizeof(quad));
+      const __m256i avec = _mm256_set1_epi32(quad);
+      const __m256i pairs = _mm256_maddubs_epi16(avec, bvec);
+      acc[r] = _mm256_add_epi32(acc[r], _mm256_madd_epi16(pairs, ones));
+    }
+  }
+  if (nr == kNR8) {
+    for (std::int64_t r = 0; r < mr; ++r) {
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(c + r * ldc), acc[r]);
+    }
+    return;
+  }
+  alignas(32) std::int32_t buf[kNR8];
+  for (std::int64_t r = 0; r < mr; ++r) {
+    _mm256_store_si256(reinterpret_cast<__m256i*>(buf), acc[r]);
+    std::int32_t* crow = c + r * ldc;
+    for (std::int64_t j = 0; j < nr; ++j) crow[j] = buf[j];
+  }
+}
+
+}  // namespace
+
+Int8MicroKernelFn avx2_s8_microkernel() { return &kernel_s8_avx2_8x8; }
+
+}  // namespace saga::gemm::detail
+
+#else  // build without AVX2 support for this file
+
+namespace saga::gemm::detail {
+
+Int8MicroKernelFn avx2_s8_microkernel() { return nullptr; }
+
+}  // namespace saga::gemm::detail
+
+#endif

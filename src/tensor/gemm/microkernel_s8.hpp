@@ -1,0 +1,40 @@
+// Internal contract between the int8 gemm driver and its micro-kernels. Not
+// part of the public API — include only from src/tensor/gemm/*.cpp.
+//
+// Panel layout (produced by pack_b8, consumed by the kernels): B is split
+// into kNR8-wide column panels; each panel stores ceil(k/4) k-groups of
+// kNR8 x 4 bytes, column-major within the group:
+//
+//   panel[g * kNR8 * 4 + c * 4 + i] = B[(g * 4 + i), j0 + c]
+//
+// (k beyond the matrix edge and columns beyond N are zero-padded). Grouping
+// four consecutive k values per column matches `_mm256_maddubs_epi16`'s
+// byte-pair consumption: one 32-byte load covers 8 columns x 4 depths.
+//
+// A kernel computes C[0:mr, 0:nr] = sum_p a[r, p] * b[p, c] over all
+// kc_groups * 4 depths, overwriting C. A rows must have kc_groups * 4
+// readable bytes (the driver re-pads when the caller's lda is too small);
+// values in the zero-padded B region contribute nothing, so A's pad bytes
+// are arbitrary. All arithmetic is exact integer math, so scalar and SIMD
+// kernels are bit-identical by construction — provided A stays within 7 bits
+// (see gemm_s8.hpp for the saturation analysis).
+#pragma once
+
+#include <cstdint>
+
+namespace saga::gemm::detail {
+
+inline constexpr std::int64_t kMR8 = 8;  // micro-tile rows
+inline constexpr std::int64_t kNR8 = 8;  // micro-tile cols (one 8-wide ymm of s32)
+inline constexpr std::int64_t kKU8 = 4;  // k-group depth (maddubs byte quad)
+
+using Int8MicroKernelFn = void (*)(std::int64_t kc_groups, const std::uint8_t* a,
+                                   std::int64_t lda, const std::int8_t* b_panel,
+                                   std::int32_t* c, std::int64_t ldc,
+                                   std::int64_t mr, std::int64_t nr);
+
+/// AVX2 maddubs kernel, or nullptr when this translation unit was built
+/// without AVX2 support (the driver must also check CPUID before calling it).
+Int8MicroKernelFn avx2_s8_microkernel();
+
+}  // namespace saga::gemm::detail

@@ -12,6 +12,7 @@ namespace {
 constexpr char kMagic[4] = {'S', 'A', 'G', 'A'};
 constexpr std::uint32_t kVersionBlobs = 1;
 constexpr std::uint32_t kVersionManifest = 2;
+constexpr std::uint32_t kVersionByteBlobs = 3;
 
 struct FileCloser {
   void operator()(std::FILE* f) const noexcept {
@@ -93,6 +94,29 @@ NamedBlobs read_blobs_section(std::FILE* f, std::uint64_t file_size) {
   return blobs;
 }
 
+void write_byte_blobs_section(std::FILE* f, const NamedByteBlobs& blobs) {
+  write_pod<std::uint64_t>(f, blobs.size());
+  for (const auto& [name, bytes] : blobs) {
+    write_string(f, name);
+    write_pod<std::uint64_t>(f, bytes.size());
+    write_bytes(f, bytes.data(), bytes.size());
+  }
+}
+
+NamedByteBlobs read_byte_blobs_section(std::FILE* f, std::uint64_t file_size) {
+  const auto count = read_pod<std::uint64_t>(f);
+  NamedByteBlobs blobs;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    std::string name = read_string(f, file_size);
+    const auto byte_count = read_pod<std::uint64_t>(f);
+    check_length(byte_count, file_size);
+    std::vector<std::int8_t> bytes(byte_count);
+    read_bytes(f, bytes.data(), byte_count);
+    blobs.emplace(std::move(name), std::move(bytes));
+  }
+  return blobs;
+}
+
 struct OpenedFile {
   FilePtr file;
   std::uint32_t version = 0;
@@ -124,10 +148,10 @@ OpenedFile open_checked(const std::string& path) {
                              " (not a Saga checkpoint)");
   }
   const auto version = read_pod<std::uint32_t>(f);
-  if (version != kVersionBlobs && version != kVersionManifest) {
+  if (version < kVersionBlobs || version > kVersionByteBlobs) {
     throw std::runtime_error("serialize: unsupported version " +
                              std::to_string(version) + " in " + path +
-                             " (this build reads versions 1-2)");
+                             " (this build reads versions 1-3)");
   }
   opened.version = version;
   return opened;
@@ -215,15 +239,23 @@ NamedBlobs load_blobs(const std::string& path) {
 }
 
 void save_manifest(const std::string& path, const Manifest& manifest) {
+  // Emit the oldest version that can hold the manifest: byte blobs need v3,
+  // everything else stays in the v2 layout so existing files (and the golden
+  // fixtures guarding them) remain byte-identical.
+  const std::uint32_t version =
+      manifest.byte_blobs.empty() ? kVersionManifest : kVersionByteBlobs;
   atomic_write(path, [&](std::FILE* f) {
     write_bytes(f, kMagic, sizeof(kMagic));
-    write_pod(f, kVersionManifest);
+    write_pod(f, version);
     write_pod<std::uint64_t>(f, manifest.metadata.size());
     for (const auto& [key, value] : manifest.metadata) {
       write_string(f, key);
       write_string(f, value);
     }
     write_blobs_section(f, manifest.blobs);
+    if (version >= kVersionByteBlobs) {
+      write_byte_blobs_section(f, manifest.byte_blobs);
+    }
   });
 }
 
@@ -239,6 +271,9 @@ Manifest load_manifest(const std::string& path) {
     }
   }
   manifest.blobs = read_blobs_section(f, opened.size);
+  if (opened.version >= kVersionByteBlobs) {
+    manifest.byte_blobs = read_byte_blobs_section(f, opened.size);
+  }
   return manifest;
 }
 

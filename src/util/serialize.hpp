@@ -1,11 +1,17 @@
 // Minimal binary serialization for model checkpoints and deployable
-// artifacts: named float blobs plus (since v2) a string metadata section,
-// behind a magic header with explicit sizes. Formats (little endian):
+// artifacts: named float blobs plus (since v2) a string metadata section and
+// (since v3) a named raw-byte section for quantized weights, behind a magic
+// header with explicit sizes. Formats (little endian):
 //   v1: "SAGA" u32=1 u64_blob_count { u64_name_len bytes u64_float_count floats }*
 //   v2: "SAGA" u32=2 u64_meta_count { u64_key_len bytes u64_val_len bytes }*
 //              u64_blob_count { u64_name_len bytes u64_float_count floats }*
-// Readers accept both versions (a v1 file is a manifest with no metadata) and
-// reject anything newer with a clear error instead of misparsing it.
+//   v3: v2 layout followed by
+//              u64_byte_blob_count { u64_name_len bytes u64_byte_count bytes }*
+// Readers accept all three versions (a v1 file is a manifest with no metadata
+// or byte blobs) and reject anything newer with a clear error instead of
+// misparsing it. Writers emit the oldest version that can represent the
+// manifest — a manifest without byte blobs still serializes byte-identically
+// to the v2 format, so pre-quantization files and fixtures never change.
 #pragma once
 
 #include <cstdint>
@@ -16,6 +22,7 @@
 namespace saga::util {
 
 using NamedBlobs = std::map<std::string, std::vector<float>>;
+using NamedByteBlobs = std::map<std::string, std::vector<std::int8_t>>;
 
 /// A self-describing checkpoint: string key/value metadata (configs, task
 /// names, format hints) alongside the named parameter blobs. The metadata
@@ -24,6 +31,9 @@ using NamedBlobs = std::map<std::string, std::vector<float>>;
 struct Manifest {
   std::map<std::string, std::string> metadata;
   NamedBlobs blobs;
+  /// Raw int8 payloads (quantized weight matrices). Non-empty forces the v3
+  /// on-disk format; empty keeps the file in the v2 layout.
+  NamedByteBlobs byte_blobs;
 
   bool operator==(const Manifest&) const = default;
 
@@ -44,11 +54,11 @@ void save_blobs(const std::string& path, const NamedBlobs& blobs);
 /// malformed input (bad magic, unsupported version, truncation).
 NamedBlobs load_blobs(const std::string& path);
 
-/// Writes a v2 manifest (metadata + blobs) to `path`.
+/// Writes `manifest` to `path` — v2 when `byte_blobs` is empty, v3 otherwise.
 void save_manifest(const std::string& path, const Manifest& manifest);
 
-/// Reads a v1 (empty metadata) or v2 file; throws std::runtime_error with a
-/// message naming the problem on bad magic, unsupported version or
+/// Reads a v1 (empty metadata), v2, or v3 file; throws std::runtime_error
+/// with a message naming the problem on bad magic, unsupported version or
 /// truncation.
 Manifest load_manifest(const std::string& path);
 

@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
 #include <filesystem>
+#include <cstring>
+#include <fstream>
 #include <set>
 #include <thread>
 
@@ -158,6 +160,71 @@ TEST(Serialize, ManifestReadsV1FilesAsEmptyMetadata) {
   EXPECT_TRUE(loaded.metadata.empty());
   EXPECT_EQ(loaded.blobs, blobs);
   std::filesystem::remove(path);
+}
+
+TEST(Serialize, ManifestRoundTripsByteBlobs) {
+  const std::string path =
+      std::filesystem::temp_directory_path() / "saga_manifest_v3.bin";
+  Manifest manifest;
+  manifest.metadata["format"] = "test";
+  manifest.blobs["w"] = {1.0F, -2.0F};
+  manifest.byte_blobs["w:q8"] = {-128, -1, 0, 1, 127};
+  manifest.byte_blobs["empty"] = {};
+  save_manifest(path, manifest);
+  const Manifest loaded = load_manifest(path);
+  EXPECT_EQ(loaded, manifest);
+  // Blob-only readers still see a v3 file's float blobs.
+  EXPECT_EQ(load_blobs(path), manifest.blobs);
+  std::filesystem::remove(path);
+}
+
+TEST(Serialize, EmptyByteBlobsKeepEmittingV2) {
+  // The writer must emit the oldest version that can hold the manifest, so
+  // fp32-only files stay readable by pre-v3 builds: no byte blobs -> the
+  // version header says 2 and the file ends right after the float blobs
+  // (no empty v3 section appended).
+  const std::string path =
+      std::filesystem::temp_directory_path() / "saga_v2_stable.bin";
+  Manifest manifest = load_manifest(std::string(SAGA_TEST_DATA_DIR) +
+                                    "/golden_v2.manifest");
+  ASSERT_TRUE(manifest.byte_blobs.empty());
+  save_manifest(path, manifest);
+
+  std::ifstream in(path, std::ios::binary);
+  const std::string bytes((std::istreambuf_iterator<char>(in)),
+                          std::istreambuf_iterator<char>());
+  ASSERT_GE(bytes.size(), 8U);
+  std::uint32_t version = 0;
+  std::memcpy(&version, bytes.data() + 4, sizeof(version));
+  EXPECT_EQ(version, 2U);
+  // A v3 copy of the same content grows by exactly one (empty) byte-blob
+  // section; the v2 file must not carry those 8 count bytes.
+  Manifest with_bytes = manifest;
+  with_bytes.byte_blobs["b"] = {1};
+  const std::string v3_path =
+      std::filesystem::temp_directory_path() / "saga_v3_probe.bin";
+  save_manifest(v3_path, with_bytes);
+  const auto v3_size = std::filesystem::file_size(v3_path);
+  // v3 overhead: u64 blob count + (u64 name len + "b" + u64 byte count + 1).
+  EXPECT_EQ(v3_size, bytes.size() + 8 + (8 + 1 + 8 + 1));
+  std::filesystem::remove(v3_path);
+  std::filesystem::remove(path);
+}
+
+TEST(Serialize, GoldenV3FixtureStillLoads) {
+  // Byte-level drift guard for the v3 (byte blob) section, mirroring the
+  // v1/v2 fixtures below.
+  const Manifest v3 =
+      load_manifest(std::string(SAGA_TEST_DATA_DIR) + "/golden_v3.manifest");
+  EXPECT_EQ(v3.require("format"), "saga.golden");
+  EXPECT_EQ(v3.require("note"), "checked-in v3 fixture");
+  EXPECT_EQ(v3.require_int("answer"), 42);
+  const NamedBlobs expected_blobs{{"bias", {0.5F}},
+                                  {"weight", {1.0F, -2.25F, 3.5F}}};
+  EXPECT_EQ(v3.blobs, expected_blobs);
+  const NamedByteBlobs expected_bytes{{"codes", {-128, -1, 0, 1, 127}},
+                                      {"empty", {}}};
+  EXPECT_EQ(v3.byte_blobs, expected_bytes);
 }
 
 TEST(Serialize, GoldenV1AndV2FixturesStillLoad) {
