@@ -1,12 +1,17 @@
 // Micro-benchmarks for the tensor/NN substrate (google-benchmark).
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
+#include <string>
+#include <vector>
+
 #include "models/backbone.hpp"
 #include "nn/attention.hpp"
 #include "models/classifier.hpp"
 #include "nn/gru.hpp"
 #include "tensor/attention_fused.hpp"
 #include "tensor/eltwise/eltwise.hpp"
+#include "tensor/gemm/gemm_s8.hpp"
 #include "tensor/grad_mode.hpp"
 #include "tensor/loss.hpp"
 #include "tensor/matmul.hpp"
@@ -216,6 +221,103 @@ void BM_GruClassifierForward(benchmark::State& state) {
 }
 BENCHMARK(BM_GruClassifierForward)->Unit(benchmark::kMillisecond);
 
+// ---- int8 vs fp32 GEMM at the serve shapes --------------------------------
+// One window through the backbone/classifier is a run of skinny GEMMs: 120
+// rows (timesteps) against 72-to-192-wide weight panels. These rows put the
+// int8 kernels and the fp32 matmul side by side at exactly those shapes so
+// BASELINES.md can quote per-kernel speedups instead of square-matrix proxies.
+
+struct ServeShape {
+  std::int64_t m, k, n;
+  const char* what;
+};
+
+constexpr ServeShape kServeShapes[] = {
+    {120, 72, 72, "attn-proj"},      // attention q/k/v/out projections
+    {120, 72, 144, "ff1"},           // transformer feed-forward expand
+    {120, 144, 72, "ff2"},           // transformer feed-forward contract
+    {120, 72, 192, "gru-input-proj"} // GRU stacked r/z/n input projection
+};
+
+// Not a serve shape: a deep-K square where the int8 kernels are ALU-bound
+// rather than load/call-overhead-bound like the skinny serve tiles, so the
+// per-kernel instruction-count difference (vpdpbusd fuses the
+// maddubs+madd+add triple) actually shows up in the row.
+constexpr ServeShape kProbeShapes[] = {{384, 384, 384, "alu-bound-probe"}};
+
+void BM_MatmulServeShape(benchmark::State& state) {
+  const ServeShape& s = kServeShapes[state.range(0)];
+  util::Rng rng(11);
+  Tensor a = Tensor::randn({s.m, s.k}, rng);
+  Tensor b = Tensor::randn({s.k, s.n}, rng);
+  NoGradGuard no_grad;
+  for (auto _ : state) {
+    Tensor c = matmul(a, b);
+    benchmark::DoNotOptimize(c.data().data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * s.m * s.k * s.n);
+  state.SetLabel(std::string(s.what) + " fp32 " + std::to_string(s.m) + "x" +
+                 std::to_string(s.k) + "x" + std::to_string(s.n));
+}
+BENCHMARK(BM_MatmulServeShape)->Arg(0)->Arg(1)->Arg(2)->Arg(3);
+
+// Registered at runtime, one row per (shape, available int8 kernel), so the
+// kernel name lands in the benchmark name and hosts without VNNI simply emit
+// fewer rows instead of failing.
+void run_gemm_s8_shape(benchmark::State& state, const ServeShape& s,
+                       gemm::Int8Kernel kernel) {
+  // 7-bit activation codes so the maddubs kernel measures the same workload
+  // as the VNNI/scalar rows (it rejects full 8-bit input by contract).
+  std::vector<std::uint8_t> a(static_cast<std::size_t>(s.m * s.k));
+  std::vector<std::int8_t> b(static_cast<std::size_t>(s.k * s.n));
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    a[i] = static_cast<std::uint8_t>(1 + i % 127);
+  }
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    b[i] = static_cast<std::int8_t>(static_cast<int>(i % 255) - 127);
+  }
+  const gemm::PackedB8 packed = gemm::pack_b8(b.data(), s.k, s.n);
+  std::vector<std::int32_t> c(static_cast<std::size_t>(s.m * s.n));
+  for (auto _ : state) {
+    gemm::gemm_s8(a.data(), s.k, packed, c.data(), s.n, s.m, kernel);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * s.m * s.k * s.n);
+  state.SetLabel(std::string(s.what) + " int8 " + std::to_string(s.m) + "x" +
+                 std::to_string(s.k) + "x" + std::to_string(s.n));
+}
+
+void register_gemm_s8_serve_rows() {
+  for (const gemm::Int8Kernel kernel : gemm::available_int8_kernels()) {
+    const std::string kname = gemm::int8_kernel_name(kernel);
+    for (const ServeShape& s : kServeShapes) {
+      const std::string name = "BM_GemmS8ServeShape/" + std::to_string(s.m) +
+                               "x" + std::to_string(s.k) + "x" +
+                               std::to_string(s.n) + "/kernel:" + kname;
+      benchmark::RegisterBenchmark(
+          name.c_str(), [&s, kernel](benchmark::State& state) {
+            run_gemm_s8_shape(state, s, kernel);
+          });
+    }
+    for (const ServeShape& s : kProbeShapes) {
+      const std::string name = "BM_GemmS8Probe/" + std::to_string(s.m) + "x" +
+                               std::to_string(s.k) + "x" + std::to_string(s.n) +
+                               "/kernel:" + kname;
+      benchmark::RegisterBenchmark(
+          name.c_str(), [&s, kernel](benchmark::State& state) {
+            run_gemm_s8_shape(state, s, kernel);
+          });
+    }
+  }
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  register_gemm_s8_serve_rows();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

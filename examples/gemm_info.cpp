@@ -3,6 +3,7 @@
 // was exercised by the test suite.
 #include <iostream>
 
+#include "quant/quant.hpp"
 #include "tensor/gemm/gemm.hpp"
 #include "tensor/gemm/gemm_s8.hpp"
 
@@ -26,14 +27,23 @@ int main() {
             << (saga::gemm::cpu_supports_int8_avx2() ? "yes" : "no") << "\n";
   std::cout << "cpu supports avx-vnni: "
             << (saga::gemm::cpu_supports_avx2_vnni() ? "yes" : "no")
-            << ", avx512-vnni: "
+            << " (vpdpbusd kernel "
+            << (saga::gemm::cpu_supports_int8_avxvnni() ? "dispatchable"
+                                                        : "not dispatchable")
+            << "), avx512-vnni: "
             << (saga::gemm::cpu_supports_avx512_vnni() ? "yes" : "no")
-            << " (no vnni kernel yet; dispatch seam for lifting the 7-bit "
-               "activation restriction — see gemm_s8.hpp)\n";
+            << " (vpdpbusd kernel "
+            << (saga::gemm::cpu_supports_int8_avx512vnni() ? "dispatchable"
+                                                           : "not dispatchable")
+            << ")\n";
   std::cout << "available int8 kernels:";
   for (const saga::gemm::Int8Kernel k : saga::gemm::available_int8_kernels()) {
     std::cout << " " << saga::gemm::int8_kernel_name(k);
   }
   std::cout << "\n";
+  std::cout << "preferred activation encoding: "
+            << saga::quant::act_encoding_name(
+                   saga::quant::preferred_act_encoding())
+            << " (8-bit requires a vpdpbusd kernel; see quant.hpp)\n";
   return 0;
 }

@@ -28,7 +28,8 @@ cd "$(dirname "$0")/.."
 ASAN_TARGETS=(test_eltwise test_tensor_ops test_reduce_loss test_shape_ops
   test_matmul test_attention test_nn test_serve test_views test_gru_cell
   test_stream test_quant)
-TSAN_TARGETS=(test_serve test_views test_gru_cell test_stream test_quant)
+TSAN_TARGETS=(test_serve test_views test_gru_cell test_stream test_quant
+  test_eltwise)
 
 BUILD_DIR=build
 if [[ "${1:-}" == "--strict" ]]; then

@@ -51,6 +51,31 @@ Tensor Linear::forward(const Tensor& x, Activation activation) const {
   return y;
 }
 
+Tensor Linear::forward_chain(const Tensor& x, Activation activation,
+                             const Linear& next) const {
+  const bool fused = quant_ != nullptr && next.quant_ != nullptr &&
+                     !grad_enabled() && bias_.defined();
+  if (!fused) return next.forward(forward(x, activation));
+  Tensor flat = x;
+  const bool is_3d = x.dim() == 3;
+  if (is_3d) {
+    flat = reshape(x, {-1, in_});
+  } else if (x.dim() != 2) {
+    throw std::invalid_argument("Linear: input must be 2-D or 3-D");
+  }
+  if (flat.size(1) != in_) {
+    throw std::invalid_argument("Linear: expected " + std::to_string(in_) +
+                                " features, got " +
+                                std::to_string(flat.size(1)));
+  }
+  Tensor y = quant::linear_chain_forward(flat, *quant_, bias_,
+                                         activation == Activation::kGelu,
+                                         *next.quant_);
+  if (next.bias_.defined()) y = eltwise::bias_add(y, next.bias_);
+  if (is_3d) y = reshape(y, {x.size(0), x.size(1), next.out_});
+  return y;
+}
+
 void Linear::set_quantized(std::shared_ptr<const quant::LinearQuant> q) {
   if (q != nullptr && (q->in != in_ || q->out != out_)) {
     throw std::invalid_argument(

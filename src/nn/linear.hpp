@@ -27,6 +27,17 @@ class Linear : public Module {
 
   Tensor forward(const Tensor& x, Activation activation = Activation::kNone) const;
 
+  /// Fused two-layer forward: next.forward(this->forward(x, activation)).
+  /// When both layers are quantized and gradients are off, the inter-layer
+  /// activation never materializes in fp32 — this layer's bias (+ optional
+  /// GELU) and the next layer's input quantization run as one fused eltwise
+  /// sweep straight into the next int8 GEMM (quant::linear_chain_forward).
+  /// Otherwise falls back to the composed calls, so training, calibration,
+  /// and partially quantized models behave exactly as before. Requires this
+  /// layer to have a bias on the quantized path.
+  Tensor forward_chain(const Tensor& x, Activation activation,
+                       const Linear& next) const;
+
   std::int64_t in_features() const noexcept { return in_; }
   std::int64_t out_features() const noexcept { return out_; }
 

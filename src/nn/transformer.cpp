@@ -25,9 +25,11 @@ TransformerBlock::TransformerBlock(const TransformerConfig& config,
 Tensor TransformerBlock::forward(const Tensor& x) {
   // Residual joins fuse into the layer norms; the feed-forward GELU fuses
   // into ff1's bias epilogue — no composed add/gelu passes on this path.
+  // On the int8 path forward_chain goes further: ff1's bias+gelu and ff2's
+  // input quantization collapse into one sweep between the two int8 GEMMs.
   Tensor attn_out = dropout1_->forward(attn_->forward(x));
   Tensor h = norm1_->forward_residual(x, attn_out);
-  Tensor ff = ff2_->forward(ff1_->forward(h, Activation::kGelu));
+  Tensor ff = ff1_->forward_chain(h, Activation::kGelu, *ff2_);
   return norm2_->forward_residual(h, dropout2_->forward(ff));
 }
 

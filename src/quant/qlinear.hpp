@@ -27,24 +27,50 @@ struct LinearQuant {
   std::int64_t in = 0;
   std::int64_t out = 0;
   gemm::PackedB8 packed;
+  /// Input activation encoding this layer was prepared for, plus its clamp
+  /// range and unsigned offset (act_max/act_zero of `encoding`, denormalized
+  /// here so the hot loops don't branch on the enum).
+  ActEncoding encoding = ActEncoding::k7Bit;
+  std::int32_t act_max = kActMax;
+  std::int32_t act_zero = kActZero;
+  /// act_scale in `encoding` (rescaled from the blob's canonical 7-bit
+  /// scale when the 8-bit encoding is selected).
   float act_scale = 1.0F;
   /// act_scale * weight_scale[n], applied to the offset-corrected s32
   /// accumulator in the dequantizing epilogue.
   std::vector<float> dequant_scales;
-  /// kActZero * colsum[n] — the constant the unsigned +64 activation offset
+  /// act_zero * colsum[n] — the constant the unsigned activation offset
   /// adds to every accumulator in column n.
   std::vector<std::int32_t> zero_correction;
 };
 
 /// Packs a QuantBlob for the int8 kernels and folds its scales into the
-/// epilogue constants. The blob's act_scale must be set (calibrated).
+/// epilogue constants. The blob's act_scale must be set (calibrated; always
+/// in the canonical 7-bit scale — see quant.hpp). The one-argument overload
+/// selects preferred_act_encoding(); passing k8Bit when the dispatched GEMM
+/// kernel is maddubs-only would make every forward throw, so callers other
+/// than tests should use the default.
 LinearQuant prepare(const QuantBlob& blob);
+LinearQuant prepare(const QuantBlob& blob, ActEncoding encoding);
 
 /// flat [M, in] fp32 -> [M, out] fp32 (bias not applied): quantize the
 /// activations with q.act_scale, run gemm_s8 against the prepacked weights,
 /// dequantize. Exact-integer inside, so outputs are bit-identical across
-/// int8 kernels and thread counts.
+/// int8 kernels (that accept q.encoding) and thread counts.
 Tensor linear_forward(const Tensor& flat, const LinearQuant& q);
+
+/// Two fused back-to-back quantized layers: y2 = (x @ W1 [+gelu]) @ W2, both
+/// pre-bias except that `bias1` (nullable via undefined Tensor semantics is
+/// NOT supported — pass the layer's real bias) joins layer 1 inside the
+/// fused epilogue. The inter-layer activation is never materialized in fp32:
+/// layer 1's dequantized accumulator goes through one
+/// eltwise::bias_act_quantize sweep (bias + optional gelu + re-quantize for
+/// q2) straight into layer 2's padded GEMM input. Returns layer 2's pre-bias
+/// fp32 output [M, q2.out]; the caller applies layer 2's bias via its
+/// normal fused epilogue. Requires q2.in == q1.out.
+Tensor linear_chain_forward(const Tensor& flat, const LinearQuant& q1,
+                            const Tensor& bias1, bool gelu,
+                            const LinearQuant& q2);
 
 /// Attaches every entry of `state` to the matching nn::Linear ("<path>.weight")
 /// or nn::GRUCell ("<path>.w_ih"/"<path>.w_hh") under `root`, using the same

@@ -5,8 +5,10 @@
 #include <limits>
 #include <stdexcept>
 
+#include "tensor/gemm/gemm_s8.hpp"
 #include "tensor/shape_ops.hpp"
 #include "tensor/tensor.hpp"
+#include "util/env.hpp"
 
 namespace saga::quant {
 
@@ -88,21 +90,49 @@ std::vector<float> dequantize_weights(const QuantBlob& blob) {
   return out;
 }
 
-float activation_scale(float absmax) { return scale_for(absmax, kActMax); }
+const char* act_encoding_name(ActEncoding encoding) {
+  return encoding == ActEncoding::k8Bit ? "8-bit" : "7-bit";
+}
+
+ActEncoding preferred_act_encoding() {
+  // 0 = follow the dispatched kernel; the env pin is for CI variants that
+  // must hold one encoding regardless of host ISA.
+  static const int pinned_bits = [] {
+    const int bits = util::env_int("SAGA_INT8_ACT_BITS", 0);
+    if (bits != 0 && bits != 7 && bits != 8) {
+      throw std::runtime_error("SAGA_INT8_ACT_BITS must be 7 or 8, got " +
+                               std::to_string(bits));
+    }
+    return bits;
+  }();
+  if (pinned_bits == 7) return ActEncoding::k7Bit;
+  if (pinned_bits == 8) return ActEncoding::k8Bit;
+  const gemm::Int8Kernel kernel = gemm::resolved_int8_kernel();
+  const bool vnni = kernel == gemm::Int8Kernel::kAvxVnni ||
+                    kernel == gemm::Int8Kernel::kAvx512Vnni;
+  return vnni ? ActEncoding::k8Bit : ActEncoding::k7Bit;
+}
+
+float activation_scale(float absmax, ActEncoding encoding) {
+  return scale_for(absmax, act_max(encoding));
+}
 
 void quantize_activations(const float* x, std::int64_t count, float scale,
-                          std::uint8_t* out) {
+                          std::uint8_t* out, ActEncoding encoding) {
   const float inv = 1.0F / scale;
+  const std::int32_t qmax = act_max(encoding);
+  const std::int32_t zero = act_zero(encoding);
   for (std::int64_t i = 0; i < count; ++i) {
-    out[i] = static_cast<std::uint8_t>(
-        round_clamp(x[i] * inv, -kActMax, kActMax) + kActZero);
+    out[i] = static_cast<std::uint8_t>(round_clamp(x[i] * inv, -qmax, qmax) +
+                                       zero);
   }
 }
 
 void dequantize_activations(const std::uint8_t* q, std::int64_t count,
-                            float scale, float* out) {
+                            float scale, float* out, ActEncoding encoding) {
+  const int zero = act_zero(encoding);
   for (std::int64_t i = 0; i < count; ++i) {
-    out[i] = static_cast<float>(static_cast<int>(q[i]) - kActZero) * scale;
+    out[i] = static_cast<float>(static_cast<int>(q[i]) - zero) * scale;
   }
 }
 

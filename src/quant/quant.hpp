@@ -4,16 +4,25 @@
 //   weights      per-output-channel int8: for column n of a [in, out] matrix,
 //                scale_w[n] = absmax(W[:, n]) / 127, q = round(w / scale_w),
 //                clamped to [-127, 127].
-//   activations  per-tensor 7-bit: scale_x = absmax(x) / 63 (absmax recorded
-//                by a calibration pass), q = clamp(round(x / scale_x), -63, 63),
-//                stored unsigned as q + 64 in [1, 127].
+//   activations  per-tensor symmetric, in one of two encodings picked at
+//                prepare time from the dispatched GEMM kernel:
+//                  7-bit  scale_x = absmax / 63, q = clamp(round(x/s), +-63),
+//                         stored unsigned as q + 64 in [1, 127]
+//                  8-bit  scale_x = absmax / 127, q = clamp(round(x/s), +-127),
+//                         stored unsigned as q + 128 in [1, 255]
 //
-// The 7-bit activation range is what makes the AVX2 maddubs GEMM kernel
-// exact: its u8*s8 byte-pair sums saturate at +-32767, and 127*127*2 = 32258
-// never reaches that, so the scalar and SIMD int8 kernels are bit-identical
-// (see gemm_s8.hpp). The +64 offset is undone in the dequantizing epilogue
-// via the packed per-column weight sums:
-//   y[m, n] = (acc[m, n] - 64 * colsum[n]) * scale_x * scale_w[n]  (+ bias)
+// The 7-bit encoding is what makes the AVX2 maddubs GEMM kernel exact: its
+// u8*s8 byte-pair sums saturate at +-32767, and 127*127*2 = 32258 never
+// reaches that. The vpdpbusd (VNNI) kernels and the scalar reference
+// accumulate straight into s32, so when one of them is dispatched the 8-bit
+// encoding halves the activation quantization step for free — see
+// preferred_act_encoding(). Either offset is undone in the dequantizing
+// epilogue via the packed per-column weight sums:
+//   y[m, n] = (acc[m, n] - zero * colsum[n]) * scale_x * scale_w[n]  (+ bias)
+//
+// QuantBlob.act_scale is ALWAYS stored in the 7-bit encoding (absmax / 63) so
+// v3 artifact bytes are encoding-independent; prepare() rescales to 8-bit
+// when that encoding is selected.
 //
 // Calibration: wrap fp32 forwards in a CalibrationScope; nn::Linear and
 // nn::GRUCell report every matmul input through observe(), and the scope
@@ -41,7 +50,34 @@ Precision parse_precision(const std::string& name);
 
 inline constexpr int kWeightMax = 127;  // int8 symmetric weight range
 inline constexpr int kActMax = 63;      // 7-bit symmetric activation range
-inline constexpr int kActZero = 64;     // unsigned storage offset
+inline constexpr int kActZero = 64;     // 7-bit unsigned storage offset
+inline constexpr int kActMax8 = 127;    // 8-bit symmetric activation range
+inline constexpr int kActZero8 = 128;   // 8-bit unsigned storage offset
+
+/// Unsigned storage encoding of quantized activations. k7Bit ([1, 127],
+/// offset 64) is safe for every GEMM kernel; k8Bit ([1, 255], offset 128)
+/// halves the quantization step but requires a kernel without maddubs's s16
+/// saturation (see gemm_s8.hpp).
+enum class ActEncoding { k7Bit, k8Bit };
+
+const char* act_encoding_name(ActEncoding encoding);
+
+constexpr int act_max(ActEncoding encoding) {
+  return encoding == ActEncoding::k8Bit ? kActMax8 : kActMax;
+}
+constexpr int act_zero(ActEncoding encoding) {
+  return encoding == ActEncoding::k8Bit ? kActZero8 : kActZero;
+}
+
+/// Encoding prepare() uses by default: k8Bit when the currently dispatched
+/// int8 GEMM kernel is one of the vpdpbusd (VNNI) ones, else k7Bit — a
+/// forced-scalar run could also take 8-bit, but keeping it on 7-bit makes
+/// scalar-pinned CI runs byte-coherent with AVX2-only hosts. Resolved per
+/// call so ForceInt8KernelGuard pins are honored. SAGA_INT8_ACT_BITS=7|8
+/// (read once per process) overrides the kernel-derived choice — the 7-bit
+/// pin is how CI keeps the maddubs serve path covered on VNNI hosts; any
+/// other value throws std::runtime_error.
+ActEncoding preferred_act_encoding();
 
 /// One quantized weight matrix: row-major [rows, cols] int8 values with a
 /// per-column (= per output channel) scale, plus the per-tensor input
@@ -73,18 +109,20 @@ QuantBlob quantize_weights(const float* w, std::int64_t rows,
 /// element.
 std::vector<float> dequantize_weights(const QuantBlob& blob);
 
-/// Activation scale for a recorded absolute maximum (absmax/63, with the
-/// same zero/underflow handling as weight scales).
-float activation_scale(float absmax);
+/// Activation scale for a recorded absolute maximum (absmax/act_max, with
+/// the same zero/underflow handling as weight scales).
+float activation_scale(float absmax, ActEncoding encoding = ActEncoding::k7Bit);
 
-/// q[i] = clamp(round(x[i] / scale), -63, 63) + 64 — the unsigned 7-bit
-/// input the int8 GEMM consumes.
+/// q[i] = clamp(round(x[i] / scale), -act_max, act_max) + act_zero — the
+/// unsigned input the int8 GEMM consumes.
 void quantize_activations(const float* x, std::int64_t count, float scale,
-                          std::uint8_t* out);
+                          std::uint8_t* out,
+                          ActEncoding encoding = ActEncoding::k7Bit);
 
-/// x[i] ~= (q[i] - 64) * scale.
+/// x[i] ~= (q[i] - act_zero) * scale.
 void dequantize_activations(const std::uint8_t* q, std::int64_t count,
-                            float scale, float* out);
+                            float scale, float* out,
+                            ActEncoding encoding = ActEncoding::k7Bit);
 
 // ---- calibration ----------------------------------------------------------
 

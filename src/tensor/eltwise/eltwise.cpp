@@ -333,4 +333,21 @@ Tensor gru_cell(const Tensor& gi_in, const Tensor& gh_in, const Tensor& h_in) {
       });
 }
 
+void bias_act_quantize(const float* x, const float* bias, std::int64_t rows,
+                       std::int64_t d, bool gelu, float act_scale,
+                       std::int32_t act_zero, std::int32_t act_max,
+                       std::uint8_t* out, std::int64_t out_stride) {
+  if (out_stride < d) {
+    throw std::invalid_argument(
+        "bias_act_quantize: out_stride must cover the row width");
+  }
+  if (rows <= 0 || d <= 0) return;
+  // Reciprocal (not division per element) to match quantize_activations'
+  // arithmetic exactly — the fused path must be bit-identical to the
+  // two-pass composition it replaces.
+  const float inv = 1.0F / act_scale;
+  active_table().bias_act_quant(x, bias, gelu, inv, act_zero, act_max, out,
+                                out_stride, rows, d);
+}
+
 }  // namespace saga::eltwise

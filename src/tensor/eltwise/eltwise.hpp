@@ -21,6 +21,7 @@
 // to scalar (read once per process).
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -90,5 +91,20 @@ Tensor scale_add(const Tensor& x, const Tensor& tile, float alpha = 1.0F);
 /// with one sweep; under the forced-scalar kernel the result (fwd and bwd)
 /// is bit-identical to the composed chain.
 Tensor gru_cell(const Tensor& gi, const Tensor& gh, const Tensor& h);
+
+/// Fused bias add (+ optional GELU) + activation quantize over a [rows, d]
+/// fp32 buffer, emitting the unsigned codes the int8 GEMM consumes:
+///   out[i*out_stride + j] = clamp(rint((x[i*d+j] + bias[j]) / act_scale
+///                                 after optional gelu), -act_max, act_max)
+///                           + act_zero
+/// `bias` may be nullptr (pure quantize — the entry sweep of the int8 path);
+/// out_stride >= d, with columns d..out_stride-1 zero-filled so rows can be
+/// written straight into k-group-padded GEMM input. Pointer-level and
+/// fwd-only: this is saga::quant's inter-layer epilogue, fusing what was a
+/// bias_add/bias_gelu pass plus a separate quantize_activations sweep.
+void bias_act_quantize(const float* x, const float* bias, std::int64_t rows,
+                       std::int64_t d, bool gelu, float act_scale,
+                       std::int32_t act_zero, std::int32_t act_max,
+                       std::uint8_t* out, std::int64_t out_stride);
 
 }  // namespace saga::eltwise

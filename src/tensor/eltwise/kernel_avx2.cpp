@@ -19,6 +19,7 @@
 
 #include <immintrin.h>
 
+#include <algorithm>
 #include <cmath>
 
 namespace saga::eltwise::detail {
@@ -451,9 +452,46 @@ void gru_cell_bwd(const float* rzn, const float* gh, const float* h,
   }
 }
 
+void bias_act_quant(const float* x, const float* t, bool gelu, float inv_scale,
+                    std::int32_t zero, std::int32_t qmax, std::uint8_t* out,
+                    std::int64_t out_stride, std::int64_t blocks,
+                    std::int64_t m) {
+  const __m256 inv = _mm256_set1_ps(inv_scale);
+  const __m256i lo = _mm256_set1_epi32(-qmax);
+  const __m256i hi = _mm256_set1_epi32(qmax);
+  const __m256i z8 = _mm256_set1_epi32(zero);
+  for (std::int64_t b = 0; b < blocks; ++b) {
+    const float* xb = x + b * m;
+    std::uint8_t* ob = out + b * out_stride;
+    std::int64_t j = 0;
+    for (; j + 8 <= m; j += 8) {
+      __m256 act = _mm256_loadu_ps(xb + j);
+      if (t != nullptr) act = _mm256_add_ps(act, _mm256_loadu_ps(t + j));
+      if (gelu) act = gelu256(act);
+      // cvtps rounds to nearest-even like the scalar path's lrintf; the
+      // clamp bounds the values before the +zero offset, so the two 128-bit
+      // unsigned-saturating packs below can never themselves saturate.
+      __m256i q = _mm256_cvtps_epi32(_mm256_mul_ps(act, inv));
+      q = _mm256_add_epi32(_mm256_min_epi32(_mm256_max_epi32(q, lo), hi), z8);
+      const __m128i q16 = _mm_packus_epi32(_mm256_castsi256_si128(q),
+                                           _mm256_extracti128_si256(q, 1));
+      _mm_storel_epi64(reinterpret_cast<__m128i*>(ob + j),
+                       _mm_packus_epi16(q16, q16));
+    }
+    for (; j < m; ++j) {
+      float act = t == nullptr ? xb[j] : xb[j] + t[j];
+      if (gelu) act = gelu_fwd_ref(act);
+      const auto q = static_cast<std::int32_t>(std::lrintf(act * inv_scale));
+      ob[j] = static_cast<std::uint8_t>(
+          std::min(std::max(q, -qmax), qmax) + zero);
+    }
+    for (; j < out_stride; ++j) ob[j] = 0;
+  }
+}
+
 constexpr Kernels kAvx2Kernels{tile_add,  tile_add_bwd,  bias_gelu,
                                bias_gelu_bwd, layer_norm, layer_norm_bwd,
-                               gru_cell, gru_cell_bwd};
+                               gru_cell, gru_cell_bwd, bias_act_quant};
 
 }  // namespace
 

@@ -4,6 +4,7 @@
 // it replaces (ops.cpp GeluPolicy, reduce.cpp layer_norm_lastdim, broadcast
 // add), in the same order — so forced-scalar fused results are bit-identical
 // to the composed reference path (tested in tests/test_eltwise.cpp).
+#include <algorithm>
 #include <cmath>
 
 #include "tensor/eltwise/gelu_math.hpp"
@@ -188,9 +189,28 @@ void gru_cell_bwd(const float* rzn, const float* gh, const float* h,
   }
 }
 
+void bias_act_quant(const float* x, const float* t, bool gelu, float inv_scale,
+                    std::int32_t zero, std::int32_t qmax, std::uint8_t* out,
+                    std::int64_t out_stride, std::int64_t blocks,
+                    std::int64_t m) {
+  for (std::int64_t b = 0; b < blocks; ++b) {
+    const float* xb = x + b * m;
+    std::uint8_t* ob = out + b * out_stride;
+    for (std::int64_t j = 0; j < m; ++j) {
+      float act = t == nullptr ? xb[j] : xb[j] + t[j];
+      if (gelu) act = gelu_fwd_ref(act);
+      // lrintf (round-to-nearest-even) matches both quantize_activations and
+      // the AVX2 kernel's cvtps conversion.
+      const auto q = static_cast<std::int32_t>(std::lrintf(act * inv_scale));
+      ob[j] = static_cast<std::uint8_t>(std::clamp(q, -qmax, qmax) + zero);
+    }
+    for (std::int64_t j = m; j < out_stride; ++j) ob[j] = 0;
+  }
+}
+
 constexpr Kernels kScalarKernels{tile_add,  tile_add_bwd,  bias_gelu,
                                  bias_gelu_bwd, layer_norm, layer_norm_bwd,
-                                 gru_cell, gru_cell_bwd};
+                                 gru_cell, gru_cell_bwd, bias_act_quant};
 
 }  // namespace
 

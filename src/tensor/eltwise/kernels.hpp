@@ -76,6 +76,21 @@ struct Kernels {
                        const float* g, float* dgi, std::int64_t gi_stride,
                        float* dgh, float* dh, std::int64_t batch,
                        std::int64_t hidden);
+  /// Fused bias add (+ optional GELU) + activation quantize, the int8 serve
+  /// path's inter-layer epilogue (fwd-only; int8 runs under NoGrad). Over the
+  /// [blocks, m] tiled view: act = x + t (t nullable, as bias_gelu), then
+  /// gelu(act) when `gelu`, then u8 code clamp(rint(act * inv_scale), -qmax,
+  /// qmax) + zero into out[b * out_stride + j]. out_stride >= m; columns
+  /// m..out_stride-1 of each row are zero-filled (the int8 GEMM's k-group
+  /// padding). The add variant performs the same IEEE add/mul/rint as
+  /// quantize_activations-after-bias_add, with no contractible FMA shape, so
+  /// scalar and AVX2 agree bit-for-bit; the gelu variant matches its OWN
+  /// kernel's bias_gelu-then-quantize composition (AVX2 gelu differs from
+  /// scalar in low bits, exactly as bias_gelu documents).
+  void (*bias_act_quant)(const float* x, const float* t, bool gelu,
+                         float inv_scale, std::int32_t zero, std::int32_t qmax,
+                         std::uint8_t* out, std::int64_t out_stride,
+                         std::int64_t blocks, std::int64_t m);
 };
 
 /// Portable reference kernels; always available.

@@ -41,6 +41,18 @@ bool cpu_has_avx2() {
 #endif
 }
 
+// The EVEX-encoded 256-bit vpdpbusd additionally needs AVX512VL; the builtin
+// also folds in the XSAVE/XCR0 opmask+zmm state check, which raw CPUID bits
+// alone would miss. (For the VEX kernel, cpu_has_avx2() covers YMM state —
+// "avxvnni" is not a portable __builtin_cpu_supports token.)
+bool cpu_has_avx512vl() {
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+  return __builtin_cpu_supports("avx512vl");
+#else
+  return false;
+#endif
+}
+
 // SAGA_FORCE_SCALAR_GEMM pins the int8 path along with the fp32 one: a
 // forced-scalar test run should exercise no SIMD GEMM of any precision.
 bool force_scalar() {
@@ -53,8 +65,14 @@ thread_local Int8Kernel t_forced = Int8Kernel::kAuto;
 
 Int8Kernel resolve_auto() {
   if (t_forced != Int8Kernel::kAuto) return t_forced;
-  static const bool avx2_ok = cpu_supports_int8_avx2() && !force_scalar();
-  return avx2_ok ? Int8Kernel::kAvx2 : Int8Kernel::kScalar;
+  static const Int8Kernel picked = [] {
+    if (force_scalar()) return Int8Kernel::kScalar;
+    if (cpu_supports_int8_avx512vnni()) return Int8Kernel::kAvx512Vnni;
+    if (cpu_supports_int8_avxvnni()) return Int8Kernel::kAvxVnni;
+    if (cpu_supports_int8_avx2()) return Int8Kernel::kAvx2;
+    return Int8Kernel::kScalar;
+  }();
+  return picked;
 }
 
 bool kernel_available(Int8Kernel kernel) {
@@ -64,8 +82,27 @@ bool kernel_available(Int8Kernel kernel) {
       return true;
     case Int8Kernel::kAvx2:
       return cpu_supports_int8_avx2() && !force_scalar();
+    case Int8Kernel::kAvxVnni:
+      return cpu_supports_int8_avxvnni() && !force_scalar();
+    case Int8Kernel::kAvx512Vnni:
+      return cpu_supports_int8_avx512vnni() && !force_scalar();
   }
   return false;
+}
+
+detail::Int8MicroKernelFn kernel_fn(Int8Kernel resolved) {
+  switch (resolved) {
+    case Int8Kernel::kAvx2:
+      return detail::avx2_s8_microkernel();
+    case Int8Kernel::kAvxVnni:
+      return detail::avxvnni_s8_microkernel();
+    case Int8Kernel::kAvx512Vnni:
+      return detail::avx512vnni_s8_microkernel();
+    case Int8Kernel::kAuto:
+    case Int8Kernel::kScalar:
+      return nullptr;
+  }
+  return nullptr;
 }
 
 // Scalar reference: exact triple loop reading B through the packed layout
@@ -96,11 +133,12 @@ void scalar_range(const std::uint8_t* a, std::int64_t lda, const PackedB8& b,
   }
 }
 
-// AVX2 path over a row range. The kernel reads A in 4-byte k-groups, so rows
-// whose stride cannot cover the padded depth are repacked into a padded
-// per-thread buffer first (pad bytes multiply the zero-padded B tail, so
-// their value is irrelevant).
-void avx2_range(const std::uint8_t* a, std::int64_t lda, const PackedB8& b,
+// SIMD path over a row range (shared by the maddubs and both vpdpbusd
+// kernels — they consume the same panel layout). The kernel reads A in
+// 4-byte k-groups, so rows whose stride cannot cover the padded depth are
+// repacked into a padded per-thread buffer first (pad bytes multiply the
+// zero-padded B tail, so their value is irrelevant).
+void simd_range(const std::uint8_t* a, std::int64_t lda, const PackedB8& b,
                 std::int32_t* c, std::int64_t ldc, std::int64_t m0,
                 std::int64_t m1, detail::Int8MicroKernelFn kern) {
   const std::int64_t groups = (b.k + kKU8 - 1) / kKU8;
@@ -132,6 +170,9 @@ void avx2_range(const std::uint8_t* a, std::int64_t lda, const PackedB8& b,
   }
 }
 
+// Only the maddubs kernel has the 7-bit restriction (s16 intermediates);
+// scalar and both vpdpbusd kernels are exact over the full u8 range, so the
+// check runs only when dispatch actually lands on kAvx2.
 void check_a_range(const std::uint8_t* a, std::int64_t lda, std::int64_t m,
                    std::int64_t k) {
   for (std::int64_t i = 0; i < m; ++i) {
@@ -151,6 +192,18 @@ void check_a_range(const std::uint8_t* a, std::int64_t lda, std::int64_t m,
 
 bool cpu_supports_int8_avx2() {
   return compiled_with_int8_avx2() && cpu_has_avx2();
+}
+
+bool cpu_supports_int8_avxvnni() {
+  // cpu_has_avx2() stands in for the OS YMM-state check that raw CPUID leaf
+  // 7.1 alone does not make.
+  return detail::avxvnni_s8_microkernel() != nullptr &&
+         cpu_supports_avx2_vnni() && cpu_has_avx2();
+}
+
+bool cpu_supports_int8_avx512vnni() {
+  return detail::avx512vnni_s8_microkernel() != nullptr &&
+         cpu_supports_avx512_vnni() && cpu_has_avx512vl();
 }
 
 bool cpu_supports_avx2_vnni() {
@@ -175,13 +228,34 @@ bool cpu_supports_avx512_vnni() {
 
 std::vector<Int8Kernel> available_int8_kernels() {
   std::vector<Int8Kernel> kernels{Int8Kernel::kScalar};
-  if (kernel_available(Int8Kernel::kAvx2)) kernels.push_back(Int8Kernel::kAvx2);
+  for (Int8Kernel k : {Int8Kernel::kAvx2, Int8Kernel::kAvxVnni,
+                       Int8Kernel::kAvx512Vnni}) {
+    if (kernel_available(k)) kernels.push_back(k);
+  }
   return kernels;
 }
 
 std::string int8_kernel_name(Int8Kernel kernel) {
   if (kernel == Int8Kernel::kAuto) kernel = resolve_auto();
-  return kernel == Int8Kernel::kAvx2 ? "avx2-maddubs" : "scalar";
+  switch (kernel) {
+    case Int8Kernel::kAvx2:
+      return "avx2-maddubs";
+    case Int8Kernel::kAvxVnni:
+      return "avx-vnni";
+    case Int8Kernel::kAvx512Vnni:
+      return "avx512-vnni";
+    case Int8Kernel::kAuto:
+    case Int8Kernel::kScalar:
+      break;
+  }
+  return "scalar";
+}
+
+Int8Kernel resolved_int8_kernel() { return resolve_auto(); }
+
+bool int8_kernel_allows_8bit(Int8Kernel kernel) {
+  if (kernel == Int8Kernel::kAuto) kernel = resolve_auto();
+  return kernel != Int8Kernel::kAvx2;
 }
 
 ForceInt8KernelGuard::ForceInt8KernelGuard(Int8Kernel kernel)
@@ -231,21 +305,19 @@ void gemm_s8(const std::uint8_t* a, std::int64_t lda, const PackedB8& b,
     return;
   }
   if (!kernel_available(kernel)) {
-    throw std::runtime_error(
-        "gemm_s8: AVX2 kernel requested but not available (unsupported "
-        "CPU/build, or SAGA_FORCE_SCALAR_GEMM=1)");
+    throw std::runtime_error("gemm_s8: kernel '" + int8_kernel_name(kernel) +
+                             "' requested but not available (unsupported "
+                             "CPU/build, or SAGA_FORCE_SCALAR_GEMM=1)");
   }
-  check_a_range(a, lda, m, b.k);
   const Int8Kernel resolved =
       kernel == Int8Kernel::kAuto ? resolve_auto() : kernel;
-  detail::Int8MicroKernelFn kern = resolved == Int8Kernel::kAvx2
-                                       ? detail::avx2_s8_microkernel()
-                                       : nullptr;
+  if (resolved == Int8Kernel::kAvx2) check_a_range(a, lda, m, b.k);
+  detail::Int8MicroKernelFn kern = kernel_fn(resolved);
   const auto run_range = [&](std::int64_t lo, std::int64_t hi) {
     if (kern == nullptr) {
       scalar_range(a, lda, b, c, ldc, lo, hi);
     } else {
-      avx2_range(a, lda, b, c, ldc, lo, hi, kern);
+      simd_range(a, lda, b, c, ldc, lo, hi, kern);
     }
   };
 

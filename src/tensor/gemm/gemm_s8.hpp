@@ -8,18 +8,23 @@
 //
 // Saturation contract: the AVX2 kernel accumulates byte-pair products with
 // `_mm256_maddubs_epi16`, whose pairwise u8*s8 + u8*s8 sum saturates at
-// +-32767. A is therefore REQUIRED to hold 7-bit values (0..127): the worst
-// pair is then 127*127*2 = 32258 < 32767, so no intermediate ever saturates
-// and every kernel computes the exact integer product. saga::quant produces
-// exactly this range (symmetric 7-bit activations stored with a +64 offset);
-// the driver rejects out-of-range A with std::invalid_argument rather than
-// silently returning kernel-dependent results. A future VNNI kernel
-// (vpdpbusd accumulates straight to s32) lifts the restriction — the
-// cpu_supports_*_vnni() probes below are its dispatch seam.
+// +-32767. When that kernel runs, A is REQUIRED to hold 7-bit values
+// (0..127): the worst pair is then 127*127*2 = 32258 < 32767, so no
+// intermediate ever saturates and the kernel computes the exact integer
+// product. The driver rejects out-of-range A with std::invalid_argument
+// (only when dispatching to maddubs) rather than silently returning
+// kernel-dependent results. The VNNI kernels (`vpdpbusd`, VEX and EVEX
+// flavors) accumulate byte quads straight into s32 with no s16
+// intermediate, so they — and the scalar reference — are exact over the
+// full 8-bit A range (0..255); int8_kernel_allows_8bit() is how callers ask
+// which encoding the dispatched kernel tolerates (saga::quant picks the
+// activation encoding from it).
 //
 // Determinism contract: integer accumulation is exact, so results are
 // bit-identical across kernels, thread counts, and M-splits — stronger than
-// the fp32 GEMM contract (which is per-kernel only).
+// the fp32 GEMM contract (which is per-kernel only). With 8-bit A the
+// maddubs kernel is excluded from that equivalence class (the driver
+// refuses it); all remaining kernels stay bit-identical per encoding.
 #pragma once
 
 #include <cstdint>
@@ -28,22 +33,36 @@
 
 namespace saga::gemm {
 
-/// Kernel selector for the int8 path. `kAuto` resolves at runtime: the AVX2
-/// maddubs kernel when the CPU and build support it, a ForceInt8KernelGuard
-/// is not pinning, and SAGA_FORCE_SCALAR_GEMM is unset; else the portable
-/// scalar reference.
-enum class Int8Kernel { kAuto, kScalar, kAvx2 };
+/// Kernel selector for the int8 path. `kAuto` resolves at runtime in
+/// priority order avx512-vnni > avx-vnni > avx2-maddubs > scalar, skipping
+/// kernels the CPU or build lacks; a ForceInt8KernelGuard pin wins, and
+/// SAGA_FORCE_SCALAR_GEMM=1 pins everything to the portable scalar
+/// reference.
+enum class Int8Kernel { kAuto, kScalar, kAvx2, kAvxVnni, kAvx512Vnni };
 
-/// True when this build contains the maddubs micro-kernel and the CPU
-/// reports AVX2. Ignores SAGA_FORCE_SCALAR_GEMM and guard pins.
+/// True when this build contains the named micro-kernel and the CPU reports
+/// the matching ISA (maddubs: AVX2; vpdpbusd VEX: AVX-VNNI; vpdpbusd EVEX:
+/// AVX512-VNNI + AVX512VL). Ignore SAGA_FORCE_SCALAR_GEMM and guard pins.
 bool cpu_supports_int8_avx2();
+bool cpu_supports_int8_avxvnni();
+bool cpu_supports_int8_avx512vnni();
 
-/// CPUID probes for the VNNI dot-product extensions (AVX-VNNI: leaf 7.1 EAX
-/// bit 4; AVX512_VNNI: leaf 7.0 ECX bit 11). No VNNI kernel exists yet;
-/// examples/gemm_info prints these in every CI job so the follow-up kernel
-/// has its dispatch seam ready.
+/// Raw CPUID probes for the VNNI dot-product extensions (AVX-VNNI: leaf 7.1
+/// EAX bit 4; AVX512_VNNI: leaf 7.0 ECX bit 11), independent of whether this
+/// build compiled the kernels; examples/gemm_info prints both in every CI
+/// job so a silent scalar fallback is detectable in logs.
 bool cpu_supports_avx2_vnni();
 bool cpu_supports_avx512_vnni();
+
+/// The kernel kAuto resolves to right now (honors the current thread's
+/// ForceInt8KernelGuard pin and SAGA_FORCE_SCALAR_GEMM). Never kAuto.
+Int8Kernel resolved_int8_kernel();
+
+/// True when `kernel` computes exact products for full 8-bit A values
+/// (0..255): every kernel except the maddubs one, whose s16 intermediates
+/// saturate past 7 bits. kAuto is resolved first. saga::quant consults this
+/// to pick the activation encoding.
+bool int8_kernel_allows_8bit(Int8Kernel kernel = Int8Kernel::kAuto);
 
 /// Kernels `gemm_s8` will accept on this host, honoring the per-thread
 /// ForceInt8KernelGuard pin and SAGA_FORCE_SCALAR_GEMM (read once per
@@ -51,7 +70,8 @@ bool cpu_supports_avx512_vnni();
 std::vector<Int8Kernel> available_int8_kernels();
 
 /// Human-readable name of `kernel`, with kAuto resolved to the kernel the
-/// dispatcher would pick ("avx2-maddubs" or "scalar").
+/// dispatcher would pick ("avx512-vnni", "avx-vnni", "avx2-maddubs", or
+/// "scalar").
 std::string int8_kernel_name(Int8Kernel kernel = Int8Kernel::kAuto);
 
 /// RAII pin of int8 dispatch for the current thread (mirrors
@@ -84,11 +104,12 @@ struct PackedB8 {
 /// every subsequent gemm_s8 call (weights are packed at artifact load).
 PackedB8 pack_b8(const std::int8_t* b, std::int64_t k, std::int64_t n);
 
-/// C[M,N] = A[M,K] x B. `lda`/`ldc` are row strides of A and C. A must hold
-/// 7-bit values (see the saturation contract above; violations throw
-/// std::invalid_argument). `parallel=false` forces the single-threaded path;
-/// results are bit-identical either way. Requesting a kernel not in
-/// available_int8_kernels() throws std::runtime_error.
+/// C[M,N] = A[M,K] x B. `lda`/`ldc` are row strides of A and C. When
+/// dispatch lands on the maddubs kernel, A must hold 7-bit values (see the
+/// saturation contract above; violations throw std::invalid_argument); all
+/// other kernels accept full 8-bit A. `parallel=false` forces the
+/// single-threaded path; results are bit-identical either way. Requesting a
+/// kernel not in available_int8_kernels() throws std::runtime_error.
 void gemm_s8(const std::uint8_t* a, std::int64_t lda, const PackedB8& b,
              std::int32_t* c, std::int64_t ldc, std::int64_t m,
              Int8Kernel kernel = Int8Kernel::kAuto, bool parallel = true);

@@ -8,16 +8,19 @@
 //   panel[g * kNR8 * 4 + c * 4 + i] = B[(g * 4 + i), j0 + c]
 //
 // (k beyond the matrix edge and columns beyond N are zero-padded). Grouping
-// four consecutive k values per column matches `_mm256_maddubs_epi16`'s
-// byte-pair consumption: one 32-byte load covers 8 columns x 4 depths.
+// four consecutive k values per column matches the byte-quad consumption of
+// both `_mm256_maddubs_epi16` and `vpdpbusd`: one 32-byte load covers
+// 8 columns x 4 depths.
 //
 // A kernel computes C[0:mr, 0:nr] = sum_p a[r, p] * b[p, c] over all
 // kc_groups * 4 depths, overwriting C. A rows must have kc_groups * 4
 // readable bytes (the driver re-pads when the caller's lda is too small);
 // values in the zero-padded B region contribute nothing, so A's pad bytes
 // are arbitrary. All arithmetic is exact integer math, so scalar and SIMD
-// kernels are bit-identical by construction — provided A stays within 7 bits
-// (see gemm_s8.hpp for the saturation analysis).
+// kernels are bit-identical by construction — the maddubs kernel adds the
+// one caveat that A stays within 7 bits (see gemm_s8.hpp for the saturation
+// analysis); the vpdpbusd kernels accumulate straight into s32 and are exact
+// over the full 8-bit A range.
 #pragma once
 
 #include <cstdint>
@@ -36,5 +39,12 @@ using Int8MicroKernelFn = void (*)(std::int64_t kc_groups, const std::uint8_t* a
 /// AVX2 maddubs kernel, or nullptr when this translation unit was built
 /// without AVX2 support (the driver must also check CPUID before calling it).
 Int8MicroKernelFn avx2_s8_microkernel();
+
+/// AVX-VNNI (VEX vpdpbusd) kernel, or nullptr when built without -mavxvnni.
+Int8MicroKernelFn avxvnni_s8_microkernel();
+
+/// AVX512-VNNI+VL (EVEX vpdpbusd at 256-bit) kernel, or nullptr when built
+/// without -mavx512vnni -mavx512vl.
+Int8MicroKernelFn avx512vnni_s8_microkernel();
 
 }  // namespace saga::gemm::detail

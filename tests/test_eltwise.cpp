@@ -6,10 +6,13 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "gradcheck.hpp"
 #include "models/backbone.hpp"
+#include "quant/quant.hpp"
 #include "tensor/eltwise/eltwise.hpp"
 #include "tensor/grad_mode.hpp"
 #include "tensor/ops.hpp"
@@ -367,6 +370,122 @@ TEST(Eltwise, ViewInputsMatchPrecopiedContiguous) {
                          eltwise::scale_add(x_pre, bias_pre, 0.5F),
                          "scale_add");
   }
+}
+
+// ---- fused bias(+gelu)+quantize epilogue (the int8 serve path) ------------
+
+// The add variant performs the same IEEE add/mul/round as the composed
+// bias_add-then-quantize_activations chain (no contractible FMA shape, and
+// cvtps/lrintf share round-to-nearest-even), so ALL kernels — not just
+// forced-scalar — must agree bit-for-bit, on ragged shapes, including the
+// zero-filled padding columns.
+TEST(Eltwise, BiasActQuantAddVariantBitIdenticalAcrossKernels) {
+  const std::vector<std::pair<std::int64_t, std::int64_t>> shapes{
+      {1, 1}, {5, 13}, {8, 8}, {3, 144}, {13, 5}, {2, 72}, {7, 31}};
+  for (const auto& [rows, d] : shapes) {
+    const std::int64_t stride = (d + 3) / 4 * 4;  // gemm k-group padding
+    util::Rng rng(31);
+    std::vector<float> x(static_cast<std::size_t>(rows * d));
+    std::vector<float> bias(static_cast<std::size_t>(d));
+    for (auto& v : x) v = static_cast<float>(rng.uniform(-3.0, 3.0));
+    for (auto& v : bias) v = static_cast<float>(rng.uniform(-0.5, 0.5));
+    const float scale = 3.5F / 127.0F;
+
+    std::vector<std::uint8_t> reference;
+    for (const auto kernel : eltwise::available_kernels()) {
+      SCOPED_TRACE(eltwise::kernel_name(kernel));
+      const eltwise::ForceKernelGuard guard(kernel);
+      std::vector<std::uint8_t> out(static_cast<std::size_t>(rows * stride),
+                                    0xAB);
+      eltwise::bias_act_quantize(x.data(), bias.data(), rows, d,
+                                 /*gelu=*/false, scale, 128, 127, out.data(),
+                                 stride);
+      for (std::int64_t i = 0; i < rows; ++i) {
+        for (std::int64_t p = d; p < stride; ++p) {
+          ASSERT_EQ(out[static_cast<std::size_t>(i * stride + p)], 0)
+              << "pad byte not zero-filled at row " << i;
+        }
+      }
+      if (reference.empty()) {
+        reference = out;
+      } else {
+        ASSERT_EQ(out, reference) << "rows=" << rows << " d=" << d;
+      }
+    }
+  }
+}
+
+// Exactness against the two-pass composition it replaces: per kernel, the
+// fused sweep equals that SAME kernel's bias_gelu (or bias_add) followed by
+// quant::quantize_activations — integer codes, so EXPECT_EQ.
+TEST(Eltwise, BiasActQuantMatchesTwoPassCompositionPerKernel) {
+  const std::int64_t rows = 6;
+  const std::int64_t d = 29;  // ragged: 3 full lanes + 5 tail
+  const std::int64_t stride = (d + 3) / 4 * 4;
+  util::Rng rng(32);
+  const Tensor x = Tensor::randn({rows, d}, rng);
+  const Tensor bias = Tensor::randn({d}, rng);
+  const float scale = 4.0F / 63.0F;
+
+  for (const bool gelu : {false, true}) {
+    for (const auto kernel : eltwise::available_kernels()) {
+      SCOPED_TRACE(eltwise::kernel_name(kernel) + (gelu ? "/gelu" : "/add"));
+      const eltwise::ForceKernelGuard guard(kernel);
+      const Tensor staged =
+          gelu ? eltwise::bias_gelu(x, bias) : eltwise::bias_add(x, bias);
+      std::vector<std::uint8_t> two_pass(
+          static_cast<std::size_t>(rows * d));
+      quant::quantize_activations(staged.data().data(), rows * d, scale,
+                                  two_pass.data());
+
+      std::vector<std::uint8_t> fused(static_cast<std::size_t>(rows * stride));
+      eltwise::bias_act_quantize(x.data().data(), bias.data().data(), rows, d,
+                                 gelu, scale, quant::kActZero, quant::kActMax,
+                                 fused.data(), stride);
+      for (std::int64_t i = 0; i < rows; ++i) {
+        for (std::int64_t j = 0; j < d; ++j) {
+          ASSERT_EQ(fused[static_cast<std::size_t>(i * stride + j)],
+                    two_pass[static_cast<std::size_t>(i * d + j)])
+              << "row " << i << " col " << j;
+        }
+      }
+    }
+  }
+}
+
+// nullptr bias = the pure entry-quantize sweep; must equal
+// quantize_activations bitwise on every kernel (both encodings' constants).
+TEST(Eltwise, BiasActQuantNullBiasEqualsQuantizeActivations) {
+  const std::int64_t rows = 5;
+  const std::int64_t d = 19;
+  util::Rng rng(33);
+  std::vector<float> x(static_cast<std::size_t>(rows * d));
+  for (auto& v : x) v = static_cast<float>(rng.uniform(-2.0, 2.0));
+
+  for (const auto encoding :
+       {quant::ActEncoding::k7Bit, quant::ActEncoding::k8Bit}) {
+    const float scale = quant::activation_scale(2.0F, encoding);
+    std::vector<std::uint8_t> expected(x.size());
+    quant::quantize_activations(x.data(), rows * d, scale, expected.data(),
+                                encoding);
+    for (const auto kernel : eltwise::available_kernels()) {
+      SCOPED_TRACE(eltwise::kernel_name(kernel));
+      const eltwise::ForceKernelGuard guard(kernel);
+      std::vector<std::uint8_t> out(x.size());
+      eltwise::bias_act_quantize(x.data(), nullptr, rows, d, /*gelu=*/false,
+                                 scale, quant::act_zero(encoding),
+                                 quant::act_max(encoding), out.data(), d);
+      ASSERT_EQ(out, expected);
+    }
+  }
+}
+
+TEST(Eltwise, BiasActQuantRejectsShortStride) {
+  std::vector<float> x(8);
+  std::vector<std::uint8_t> out(8);
+  EXPECT_THROW(eltwise::bias_act_quantize(x.data(), nullptr, 2, 4, false, 1.0F,
+                                          64, 63, out.data(), 3),
+               std::invalid_argument);
 }
 
 // The consumer seam: Linear's fused GELU epilogue equals Linear then GELU.
